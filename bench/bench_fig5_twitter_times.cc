@@ -1,0 +1,11 @@
+// Figure 5: query answering times on I1 (Twitter-like instance),
+// 8 standard workloads × S3k γ ∈ {1.25, 1.5, 2} × TopkS α ∈ {0.75,
+// 0.5, 0.25}.
+#include "bench_util.h"
+
+int main() {
+  s3::bench::RunTimesFigure(
+      "=== Figure 5: query answering times on I1 (Twitter-like) ===",
+      s3::bench::MakeI1());
+  return 0;
+}

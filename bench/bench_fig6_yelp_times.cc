@@ -1,0 +1,10 @@
+// Figure 6: query answering times on I3 (Yelp-like instance), same
+// grid as Figure 5.
+#include "bench_util.h"
+
+int main() {
+  s3::bench::RunTimesFigure(
+      "=== Figure 6: query answering times on I3 (Yelp-like) ===",
+      s3::bench::MakeI3());
+  return 0;
+}

@@ -1,0 +1,11 @@
+// I2 (Vodkaster-like) query times. The paper reports these results in
+// its technical report, noting they are "similar" to Fig. 5/6 (§5.3).
+#include "bench_util.h"
+
+int main() {
+  s3::bench::RunTimesFigure(
+      "=== Tech-report figure: query answering times on I2 "
+      "(Vodkaster-like) ===",
+      s3::bench::MakeI2());
+  return 0;
+}

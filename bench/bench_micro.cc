@@ -1,0 +1,136 @@
+// Micro-benchmarks (google-benchmark) for the substrate components:
+// Porter stemming, RDFS saturation, transition-matrix propagation,
+// component candidate construction, and a full S3k query.
+#include <benchmark/benchmark.h>
+
+#include "core/connections.h"
+#include "core/s3k.h"
+#include "rdf/saturation.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+#include "workload/microblog_gen.h"
+#include "workload/query_gen.h"
+
+namespace {
+
+using namespace s3;
+
+void BM_PorterStem(benchmark::State& state) {
+  const char* words[] = {"relational",   "universities", "graduation",
+                         "connections",  "hopefulness",  "troubled",
+                         "vietnamization", "effective"};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PorterStem(words[i++ % 8]));
+  }
+}
+BENCHMARK(BM_PorterStem);
+
+void BM_ExtractKeywords(benchmark::State& state) {
+  const std::string text =
+      "When I got my M.S. @UAlberta in 2012, a degree gave many more "
+      "opportunities to graduates searching for universities";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExtractKeywords(text));
+  }
+}
+BENCHMARK(BM_ExtractKeywords);
+
+void BM_Saturation(benchmark::State& state) {
+  const int n_classes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    rdf::TermDictionary dict;
+    rdf::TripleStore store;
+    rdf::TermId sc = dict.InternUri("rdfs:subClassOf");
+    rdf::TermId type = dict.InternUri("rdf:type");
+    for (int i = 1; i < n_classes; ++i) {
+      store.Add(dict.InternUri("c" + std::to_string(i)), sc,
+                dict.InternUri("c" + std::to_string(i / 2)));
+    }
+    for (int i = 0; i < n_classes; ++i) {
+      store.Add(dict.InternUri("e" + std::to_string(i)), type,
+                dict.InternUri("c" + std::to_string(i)));
+    }
+    state.ResumeTiming();
+    rdf::SaturationStats stats = rdf::Saturate(dict, store);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_Saturation)->Arg(64)->Arg(512)->Arg(4096);
+
+struct BenchInstance {
+  workload::GenResult gen;
+  workload::QuerySet qs;
+};
+
+BenchInstance& SharedInstance() {
+  static BenchInstance* bi = [] {
+    auto* out = new BenchInstance();
+    workload::MicroblogParams p;
+    p.seed = 777;
+    p.n_users = 1500;
+    p.n_tweets = 5000;
+    p.vocab_size = 2500;
+    p.ontology.n_classes = 80;
+    p.ontology.n_entities = 600;
+    out->gen = workload::GenerateMicroblog(p);
+    workload::WorkloadSpec spec;
+    spec.freq = workload::Frequency::kCommon;
+    spec.n_keywords = 1;
+    spec.k = 10;
+    spec.n_queries = 64;
+    out->qs = workload::BuildWorkload(*out->gen.instance,
+                                      out->gen.semantic_anchors, spec);
+    return out;
+  }();
+  return *bi;
+}
+
+void BM_MatrixPropagate(benchmark::State& state) {
+  auto& bi = SharedInstance();
+  const auto& inst = *bi.gen.instance;
+  social::Frontier f, g;
+  f.Init(inst.layout().total());
+  g.Init(inst.layout().total());
+  f.Set(inst.RowOfUser(0), 1.0);
+  // Warm two steps so the frontier is wide.
+  inst.matrix().Propagate(f, g);
+  inst.matrix().Propagate(g, f);
+  for (auto _ : state) {
+    inst.matrix().Propagate(f, g);
+    benchmark::DoNotOptimize(g.values.data());
+  }
+}
+BENCHMARK(BM_MatrixPropagate);
+
+void BM_ComponentCandidates(benchmark::State& state) {
+  auto& bi = SharedInstance();
+  const auto& inst = *bi.gen.instance;
+  const auto& q = bi.qs.queries[0];
+  core::QueryExtension ext(1);
+  for (KeywordId k : inst.ExtendKeyword(q.keywords[0])) ext[0].insert(k);
+  const auto& comps = inst.ComponentsWithKeyword(q.keywords[0]);
+  size_t i = 0;
+  for (auto _ : state) {
+    core::ConnectionBuilder builder(inst, 0.5);
+    benchmark::DoNotOptimize(
+        builder.Build(comps[i++ % comps.size()], ext));
+  }
+}
+BENCHMARK(BM_ComponentCandidates);
+
+void BM_S3kQuery(benchmark::State& state) {
+  auto& bi = SharedInstance();
+  core::S3kOptions opts;
+  opts.k = 10;
+  core::S3kSearcher searcher(*bi.gen.instance, opts);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = searcher.Search(bi.qs.queries[i++ % bi.qs.queries.size()]);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_S3kQuery);
+
+}  // namespace

@@ -1,0 +1,39 @@
+// §5.2 claim: the parallelized search reduced query answering time by
+// about 2x with 8 concurrent threads. This harness sweeps the worker
+// count on the I1 common-keyword workload.
+#include "bench_util.h"
+
+using namespace s3;
+
+int main() {
+  std::printf("=== §5.2: parallel speed-up on I1 ===\n");
+  workload::GenResult gen = bench::MakeI1();
+
+  workload::WorkloadSpec spec;
+  spec.freq = workload::Frequency::kCommon;
+  spec.n_keywords = 1;
+  spec.k = 10;
+  spec.n_queries = bench::QueriesPerWorkload();
+  spec.seed = 8100;
+  auto qs =
+      workload::BuildWorkload(*gen.instance, gen.semantic_anchors, spec);
+
+  eval::TablePrinter table({"threads", "median (ms)", "speed-up"});
+  double base_median = 0.0;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    core::S3kOptions opts;
+    opts.threads = threads;
+    auto series = bench::RunS3k(*gen.instance, qs, opts);
+    if (series.empty()) continue;
+    double median = series.MedianSeconds();
+    if (threads == 1) base_median = median;
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  median > 0 ? base_median / median : 0.0);
+    table.AddRow({std::to_string(threads), eval::FormatMillis(median),
+                  speedup});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("paper: ~2x with 8 threads (on a 4-core machine).\n");
+  return 0;
+}

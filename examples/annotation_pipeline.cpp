@@ -1,0 +1,91 @@
+// Annotation pipeline: higher-level tags (the paper's requirement R4).
+//
+// Models an annotated corpus: an NLP tool tags snippets of documents
+// with recognized entities; human curators then annotate (confirm) the
+// tool's annotations; other users endorse documents. Tag-on-tag
+// connections propagate to the underlying fragments and contribute to
+// search, with each contributor's social proximity weighting its tuple.
+//
+//   ./build/examples/annotation_pipeline
+#include <cstdio>
+
+#include "core/s3_instance.h"
+#include "core/s3k.h"
+
+using namespace s3;
+
+int main() {
+  core::S3Instance inst;
+
+  auto alice = inst.AddUser("user:alice");     // seeker
+  auto nlp = inst.AddUser("tool:nlp");         // the NLP tagger "user"
+  auto curator = inst.AddUser("user:curator");
+  auto fan = inst.AddUser("user:fan");
+
+  // Alice trusts the curator a lot, the tool some, the fan less.
+  (void)inst.AddSocialEdge(alice, curator, 0.9);
+  (void)inst.AddSocialEdge(alice, nlp, 0.5);
+  (void)inst.AddSocialEdge(alice, fan, 0.2);
+
+  // NLP:recognize is a kind of tagging (S3:relatedTo specialization).
+  inst.DeclareSubProperty("NLP:recognize", "S3:relatedTo");
+
+  // Corpus: two articles with text snippets.
+  KeywordId turing = inst.InternKeyword("ent:alan_turing");
+  inst.DeclareType("ent:alan_turing", "class:person");
+  KeywordId person_class = inst.InternKeyword("class:person");
+
+  doc::Document a("article");
+  uint32_t a_snip = a.AddChild(0, "snippet");
+  a.AddKeywords(a_snip, inst.InternText("the Entscheidungsproblem paper"));
+  auto art1 = inst.AddDocument(std::move(a), "doc:art1", curator).value();
+  doc::NodeId art1_snip = inst.docs().GlobalId(art1, a_snip);
+
+  doc::Document b("article");
+  uint32_t b_snip = b.AddChild(0, "snippet");
+  b.AddKeywords(b_snip, inst.InternText("computability and the halting problem"));
+  auto art2 = inst.AddDocument(std::move(b), "doc:art2", fan).value();
+  doc::NodeId art2_snip = inst.docs().GlobalId(art2, b_snip);
+
+  // The NLP tool recognizes "Alan Turing" in both snippets.
+  auto t1 = inst.AddTagOnFragment(nlp, art1_snip, turing).value();
+  (void)inst.AddTagOnFragment(nlp, art2_snip, turing).value();
+
+  // The curator confirms the first recognition: a tag ON the tag,
+  // with the same keyword (provenance-style higher-level annotation).
+  (void)inst.AddTagOnTag(curator, t1, turing).value();
+
+  // The fan endorses article 2 (keyword-less tag).
+  (void)inst.AddTagOnFragment(fan, inst.docs().RootNode(art2),
+                              kInvalidKeyword);
+
+  if (!inst.Finalize().ok()) return 1;
+
+  core::S3kOptions opts;
+  opts.k = 3;
+  core::S3kSearcher searcher(inst, opts);
+
+  auto show = [&](const char* label, KeywordId kw) {
+    core::Query q{alice, {kw}};
+    core::SearchStats st;
+    auto result = searcher.Search(q, &st);
+    std::printf("%s:\n", label);
+    if (result.ok()) {
+      for (const auto& r : *result) {
+        std::printf("  %-14s [%.5f, %.5f]\n",
+                    inst.docs().Uri(r.node).c_str(), r.lower, r.upper);
+      }
+    }
+    std::printf("  (%zu candidates, converged=%s)\n\n",
+                st.candidates_total, st.converged ? "yes" : "no");
+  };
+
+  // Search by the entity itself: art1 should win — the curator's
+  // confirmation adds a high-proximity source on top of the tool's.
+  show("alice searches 'ent:alan_turing'", turing);
+
+  // Search by the CLASS: Ext(class:person) ∋ ent:alan_turing, so the
+  // same documents surface through pure semantics.
+  show("alice searches 'class:person' (via Ext)", person_class);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Federated networks: the paper's requirement R6 (genericity,
+// extensibility, interoperability).
+//
+// Two social applications — a microblog ("mb:") and a Q&A forum
+// ("qa:") — are integrated into ONE S3 instance over a shared user
+// population. Their relationship vocabularies are declared as RDFS
+// specializations of the S3 properties; the forum's relations live
+// purely in RDF and join the network at Finalize() (paper §2.2
+// Extensibility). The same query gets richer answers as sources are
+// added — the "monotonicity" R6 asks for.
+//
+//   ./build/examples/federated_networks
+#include <cstdio>
+
+#include "core/s3_instance.h"
+#include "core/s3k.h"
+
+using namespace s3;
+
+namespace {
+
+// Builds one instance; `include_forum` controls whether the second
+// network's content and RDF-declared relations are added.
+std::unique_ptr<core::S3Instance> Build(bool include_forum) {
+  auto inst = std::make_unique<core::S3Instance>();
+
+  auto alice = inst->AddUser("user:alice");
+  auto bob = inst->AddUser("user:bob");
+  auto carol = inst->AddUser("user:carol");
+
+  // Network 1, the microblog: explicit follow edges.
+  inst->DeclareSubProperty("mb:follows", "S3:social");
+  (void)inst->AddSocialEdge(alice, bob, 0.8);
+
+  KeywordId kubernetes = inst->InternKeyword("kubernetes");
+  KeywordId outage = inst->InternKeyword("outage");
+
+  doc::Document post("tweet");
+  uint32_t text = post.AddChild(0, "text");
+  post.AddKeywords(text, {kubernetes, inst->InternKeyword("tips")});
+  (void)inst->AddDocument(std::move(post), "mb:post1", bob).value();
+
+  if (include_forum) {
+    // Network 2, the Q&A forum. Its social relations are *RDF data*:
+    // qa:answeredFor ≺sp S3:social plus one triple per user pair,
+    // imported into the network at Finalize.
+    inst->DeclareSubProperty("qa:answeredFor", "S3:social");
+    auto& g = inst->rdf_graph();
+    auto& t = inst->terms();
+    g.Add(t.InternUri("user:alice"), t.InternUri("qa:answeredFor"),
+          t.InternUri("user:carol"), 0.6);
+
+    doc::Document answer("answer");
+    uint32_t body = answer.AddChild(0, "body");
+    answer.AddKeywords(body, {kubernetes, outage});
+    (void)inst->AddDocument(std::move(answer), "qa:answer7", carol)
+        .value();
+  }
+
+  if (!inst->Finalize().ok()) return nullptr;
+  return inst;
+}
+
+void RunQuery(core::S3Instance& inst, const char* label) {
+  core::S3kOptions opts;
+  opts.k = 5;
+  core::S3kSearcher searcher(inst, opts);
+  core::Query q;
+  q.seeker = 0;  // alice
+  q.keywords = {inst.vocabulary().Find("kubernetes")};
+  core::SearchStats st;
+  auto result = searcher.Search(q, &st);
+  std::printf("%s — alice searches 'kubernetes':\n", label);
+  if (result.ok()) {
+    for (const auto& r : *result) {
+      std::printf("  %-12s [%.5f, %.5f]\n", inst.docs().Uri(r.node).c_str(),
+                  r.lower, r.upper);
+    }
+  }
+  std::printf("  (social edges imported from RDF: %zu)\n\n",
+              inst.rdf_social_edges());
+}
+
+}  // namespace
+
+int main() {
+  auto mb_only = Build(/*include_forum=*/false);
+  auto federated = Build(/*include_forum=*/true);
+  if (!mb_only || !federated) {
+    std::fprintf(stderr, "build failed\n");
+    return 1;
+  }
+  RunQuery(*mb_only, "microblog only");
+  RunQuery(*federated, "microblog + Q&A forum (federated)");
+  std::printf(
+      "Adding the second network surfaces qa:answer7 next to the\n"
+      "original result (absolute scores shift because path\n"
+      "normalization sees more edges) — the added-content-adds-value\n"
+      "monotonicity of requirement R6.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// s3_shell: a small batch/interactive front end for the library.
+//
+// Usage:
+//   s3_shell [instance-file]
+//
+// Loads a serialized S3 instance (core/serialization.h format) — or a
+// built-in demo instance when no file is given — finalizes it, and
+// answers queries read from stdin, one per line:
+//
+//   <seeker-uri> <keyword> [keyword...]
+//
+// Prints the top-5 documents with their score intervals. Lines
+// starting with '#' are echoed; EOF ends the session. Example:
+//
+//   echo "user:u1 degree" | ./build/examples/s3_shell
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "s3/s3.h"
+
+using namespace s3;
+
+namespace {
+
+std::unique_ptr<core::S3Instance> BuildDemo() {
+  auto inst = std::make_unique<core::S3Instance>();
+  auto u0 = inst->AddUser("user:u0");
+  auto u1 = inst->AddUser("user:u1");
+  auto u2 = inst->AddUser("user:u2");
+  (void)inst->AddSocialEdge(u1, u0, 1.0);
+  (void)inst->AddSocialEdge(u0, u1, 1.0);
+  inst->DeclareSubClass("m.s.", "degree");
+
+  doc::Document d0("article");
+  uint32_t par = d0.AddChild(0, "paragraph");
+  d0.AddKeywords(par, inst->InternText("a degree gives more opportunities"));
+  d0.AddKeywords(par, {inst->InternKeyword("degree")});
+  auto a = inst->AddDocument(std::move(d0), "doc:d0", u0).value();
+
+  doc::Document d1("tweet");
+  uint32_t text = d1.AddChild(0, "text");
+  d1.AddKeywords(text, inst->InternText("got my M.S. at @UAlberta in 2012"));
+  d1.AddKeywords(text, {inst->InternKeyword("m.s.")});
+  auto b = inst->AddDocument(std::move(d1), "doc:d1", u2).value();
+  (void)inst->AddComment(b, inst->docs().RootNode(a));
+  return inst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::unique_ptr<core::S3Instance> inst;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    auto loaded = core::LoadInstance(buffer.str());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    inst = std::move(*loaded);
+    std::fprintf(stderr, "loaded %s\n", argv[1]);
+  } else {
+    inst = BuildDemo();
+    std::fprintf(stderr, "no instance file given; using the demo\n");
+  }
+  if (Status s = inst->Finalize(); !s.ok()) {
+    std::fprintf(stderr, "finalize failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "instance ready: %zu users, %zu docs, %zu tags\n"
+               "query format: <seeker-uri> <keyword> [keyword...]\n",
+               inst->UserCount(), inst->docs().DocumentCount(),
+               inst->TagCount());
+
+  // Seeker lookup by URI.
+  std::unordered_map<std::string, social::UserId> user_of;
+  for (const auto& u : inst->users()) user_of.emplace(u.uri, u.id);
+
+  core::S3kOptions opts;
+  opts.k = 5;
+  core::S3kSearcher searcher(*inst, opts);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::printf("%s\n", line.c_str());
+      continue;
+    }
+    std::istringstream in(line);
+    std::string seeker_uri;
+    in >> seeker_uri;
+    auto user_it = user_of.find(seeker_uri);
+    if (user_it == user_of.end()) {
+      std::printf("! unknown user '%s'\n", seeker_uri.c_str());
+      continue;
+    }
+    core::Query q;
+    q.seeker = user_it->second;
+    std::string kw;
+    while (in >> kw) {
+      KeywordId id = inst->vocabulary().Find(kw);
+      if (id == kInvalidKeyword) {
+        // Fall back to the stemmed form of the word.
+        auto interned = ExtractKeywords(kw);
+        if (!interned.empty()) id = inst->vocabulary().Find(interned[0]);
+      }
+      if (id == kInvalidKeyword) {
+        std::printf("! keyword '%s' does not occur anywhere\n", kw.c_str());
+        q.keywords.clear();
+        break;
+      }
+      q.keywords.push_back(id);
+    }
+    if (q.keywords.empty()) continue;
+
+    core::SearchStats st;
+    auto result = searcher.Search(q, &st);
+    if (!result.ok()) {
+      std::printf("! %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    if (result->empty()) std::printf("(no results)\n");
+    for (const auto& r : *result) {
+      std::printf("%-24s [%.6f, %.6f]\n",
+                  inst->docs().Uri(r.node).c_str(), r.lower, r.upper);
+    }
+    std::printf("-- %zu candidates, %zu iterations, %.2f ms%s\n",
+                st.candidates_total, st.iterations,
+                st.elapsed_seconds * 1e3,
+                st.converged ? "" : " (anytime)");
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Adaptation of an S3 instance into the simpler UIT model (paper §5.1:
+// I'1, I'2, I'3): user links keep their weights; every document merged
+// with its retweets/replies/reviews — i.e. its component — becomes one
+// atomic item; content keywords become (poster, item, keyword) triples;
+// tags become (author, item, keyword) triples.
+#ifndef S3_BASELINE_FLATTEN_H_
+#define S3_BASELINE_FLATTEN_H_
+
+#include <vector>
+
+#include "baseline/uit.h"
+#include "core/s3_instance.h"
+
+namespace s3::baseline {
+
+// The flattened instance plus the mapping back from S3 entities.
+struct Flattened {
+  UitInstance uit;
+  // component id -> item (kInvalidItem for components without docs).
+  std::vector<ItemId> item_of_component;
+
+  // Item of an S3 document node (via its component).
+  ItemId ItemOfNode(const core::S3Instance& s3, doc::NodeId n) const;
+};
+
+// Builds the UIT view of a finalized S3 instance.
+Flattened FlattenToUit(const core::S3Instance& s3);
+
+}  // namespace s3::baseline
+
+#endif  // S3_BASELINE_FLATTEN_H_

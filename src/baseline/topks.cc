@@ -1,0 +1,251 @@
+#include "baseline/topks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+
+#include "common/timer.h"
+
+namespace s3::baseline {
+
+namespace {
+
+struct ItemState {
+  double social = 0.0;  // α-side: Σ_k Σ_{settled taggers} σ(u,v)
+  double text = 0.0;    // (1-α)-side: Σ_k tf/maxtf, as lists are popped
+  // Settled taggers per query-keyword position.
+  std::vector<uint32_t> seen_taggers;
+  // Whether the item was already popped from keyword qi's tf list.
+  std::vector<bool> seen_text;
+};
+
+// One per-query-keyword posting list, sorted by decreasing tf, consumed
+// by sorted access (the TA/NRA discipline of [Fagin et al.] that TopkS
+// instantiates).
+struct TextList {
+  std::vector<std::pair<double, ItemId>> entries;  // (tf_norm desc, item)
+  size_t cursor = 0;
+
+  double Frontier() const {
+    return cursor < entries.size() ? entries[cursor].first : 0.0;
+  }
+};
+
+}  // namespace
+
+TopkSSearcher::TopkSSearcher(const UitInstance& uit, TopkSOptions options)
+    : uit_(uit), options_(options) {}
+
+Result<std::vector<TopkSResult>> TopkSSearcher::Search(
+    uint32_t seeker, const std::vector<KeywordId>& query,
+    TopkSStats* stats) const {
+  if (seeker >= uit_.UserCount()) {
+    return Status::InvalidArgument("unknown seeker");
+  }
+  if (query.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  WallTimer timer;
+  TopkSStats local;
+  TopkSStats& st = stats ? *stats : local;
+  st = TopkSStats{};
+
+  const double alpha = options_.alpha;
+  const size_t nq = query.size();
+
+  auto taggers_count = [&](ItemId i, size_t qi) -> uint32_t {
+    return static_cast<uint32_t>(uit_.Taggers(i, query[qi]).size());
+  };
+
+  std::unordered_map<ItemId, ItemState> items;
+  auto touch = [&](ItemId i) -> ItemState& {
+    auto [it, inserted] = items.try_emplace(i);
+    if (inserted) {
+      it->second.seen_taggers.assign(nq, 0);
+      it->second.seen_text.assign(nq, false);
+      ++st.items_examined;
+    }
+    return it->second;
+  };
+
+  // Sorted tf lists, one per query keyword.
+  std::vector<TextList> text_lists(nq);
+  for (size_t qi = 0; qi < nq; ++qi) {
+    const uint32_t max_tf = uit_.MaxTf(query[qi]);
+    if (max_tf == 0) continue;
+    for (ItemId i : uit_.ItemsWithTerm(query[qi])) {
+      text_lists[qi].entries.emplace_back(
+          static_cast<double>(uit_.Tf(i, query[qi])) / max_tf, i);
+    }
+    std::sort(text_lists[qi].entries.begin(), text_lists[qi].entries.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+  }
+
+  // Max-product Dijkstra over the user graph (social sorted access).
+  std::vector<double> sigma(uit_.UserCount(), 0.0);
+  std::vector<bool> settled(uit_.UserCount(), false);
+  using QItem = std::pair<double, uint32_t>;
+  std::priority_queue<QItem> pq;
+  sigma[seeker] = 1.0;
+  pq.push({1.0, seeker});
+
+  double sum_max_taggers = 0.0;
+  for (size_t qi = 0; qi < nq; ++qi) {
+    sum_max_taggers += uit_.MaxTaggers(query[qi]);
+  }
+
+  auto lower_of = [&](const ItemState& s) {
+    return alpha * s.social + (1.0 - alpha) * s.text;
+  };
+  // Upper bound: unseen taggers at the social frontier, unseen text at
+  // each list's cursor value.
+  auto upper_of = [&](ItemId i, const ItemState& s, double social_frontier) {
+    double unseen_taggers = 0.0;
+    double unseen_text = 0.0;
+    for (size_t qi = 0; qi < nq; ++qi) {
+      unseen_taggers +=
+          static_cast<double>(taggers_count(i, qi) - s.seen_taggers[qi]);
+      if (!s.seen_text[qi]) unseen_text += text_lists[qi].Frontier();
+    }
+    return lower_of(s) + alpha * social_frontier * unseen_taggers +
+           (1.0 - alpha) * unseen_text;
+  };
+
+  auto social_frontier = [&]() {
+    return pq.empty() ? 0.0 : pq.top().first;
+  };
+
+  // Bound on items never touched: all taggers unseen, all text at the
+  // cursors.
+  auto unseen_item_bound = [&]() {
+    double text = 0.0;
+    for (size_t qi = 0; qi < nq; ++qi) text += text_lists[qi].Frontier();
+    return alpha * social_frontier() * sum_max_taggers +
+           (1.0 - alpha) * text;
+  };
+
+  auto try_stop = [&]() -> std::optional<std::vector<TopkSResult>> {
+    std::vector<std::pair<double, ItemId>> by_lower;
+    by_lower.reserve(items.size());
+    for (const auto& [i, s] : items) by_lower.emplace_back(lower_of(s), i);
+    std::sort(by_lower.begin(), by_lower.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    const size_t kk = std::min(options_.k, by_lower.size());
+    double min_topk = kk > 0 ? by_lower[kk - 1].first : 0.0;
+    double best_other = unseen_item_bound();
+    const double frontier = social_frontier();
+    const bool exhausted =
+        frontier == 0.0 && best_other <= options_.epsilon;
+    if (!exhausted) {
+      // The k-th lower bound must dominate every non-top-k upper bound
+      // (set-level stop; internal order is best-effort, as in TopkS).
+      for (size_t r = kk; r < by_lower.size(); ++r) {
+        const ItemState& s = items.at(by_lower[r].second);
+        best_other = std::max(
+            best_other, upper_of(by_lower[r].second, s, frontier));
+      }
+      if (kk < options_.k && best_other > options_.epsilon) {
+        return std::nullopt;
+      }
+      if (best_other > min_topk + options_.epsilon) return std::nullopt;
+    }
+    std::vector<TopkSResult> out;
+    for (size_t r = 0; r < kk; ++r) {
+      if (by_lower[r].first <= options_.epsilon) break;
+      out.push_back(TopkSResult{by_lower[r].second, by_lower[r].first});
+    }
+    return out;
+  };
+
+  // Main loop: alternate one social pop with one sorted-access pop per
+  // text list, NRA style.
+  size_t rounds_since_check = 0;
+  while (true) {
+    bool progressed = false;
+
+    // Social step.
+    while (!pq.empty()) {
+      auto [sv, v] = pq.top();
+      pq.pop();
+      if (settled[v] || sv < sigma[v]) continue;
+      settled[v] = true;
+      ++st.settled_users;
+      progressed = true;
+      for (const auto& [item, tag] : uit_.TriplesOf(v)) {
+        for (size_t qi = 0; qi < nq; ++qi) {
+          if (tag == query[qi]) {
+            ItemState& s = touch(item);
+            s.social += sv;
+            s.seen_taggers[qi] += 1;
+          }
+        }
+      }
+      for (const UserLink& link : uit_.LinksOf(v)) {
+        double np = sv * link.weight;
+        if (np > sigma[link.to] && !settled[link.to]) {
+          sigma[link.to] = np;
+          pq.push({np, link.to});
+        }
+      }
+      break;  // one settled user per round
+    }
+
+    // Textual step: advance each list by one entry.
+    for (size_t qi = 0; qi < nq; ++qi) {
+      TextList& list = text_lists[qi];
+      if (list.cursor < list.entries.size()) {
+        auto [tf_norm, item] = list.entries[list.cursor++];
+        ItemState& s = touch(item);
+        if (!s.seen_text[qi]) {
+          s.seen_text[qi] = true;
+          s.text += tf_norm;
+        }
+        progressed = true;
+      }
+    }
+
+    if (++rounds_since_check >= 16 || !progressed ||
+        st.settled_users >= options_.max_settled_users) {
+      rounds_since_check = 0;
+      if (auto result = try_stop()) {
+        st.converged = true;
+        st.elapsed_seconds = timer.ElapsedSeconds();
+        st.examined_items.reserve(items.size());
+        for (const auto& [i, _] : items) st.examined_items.push_back(i);
+        return *result;
+      }
+      if (!progressed || st.settled_users >= options_.max_settled_users) {
+        break;
+      }
+    }
+  }
+
+  // Budget exhausted: return the best known.
+  std::vector<std::pair<double, ItemId>> by_lower;
+  for (const auto& [i, s] : items) by_lower.emplace_back(lower_of(s), i);
+  std::sort(by_lower.begin(), by_lower.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  std::vector<TopkSResult> out;
+  for (size_t r = 0; r < std::min(options_.k, by_lower.size()); ++r) {
+    if (by_lower[r].first <= options_.epsilon) break;
+    out.push_back(TopkSResult{by_lower[r].second, by_lower[r].first});
+  }
+  st.converged = false;
+  st.elapsed_seconds = timer.ElapsedSeconds();
+  st.examined_items.reserve(items.size());
+  for (const auto& [i, _] : items) st.examined_items.push_back(i);
+  return out;
+}
+
+}  // namespace s3::baseline

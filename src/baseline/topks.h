@@ -1,0 +1,61 @@
+// TopkS: top-k social keyword search over the UIT model, after
+// Maniu & Cautis [CIKM'13] — the baseline system the paper compares
+// against (§5.1).
+//
+// Item score:  score(i) = Σ_{k∈q} ( α · social(i,k) + (1−α) · text(i,k) )
+//   social(i,k) = Σ_{v ∈ Taggers(i,k)} σ(u,v)
+//   text(i,k)   = tf(i,k) / maxtf(k)
+// with σ(u,v) the proximity of the single best path from the seeker to
+// v in the user graph (product of edge weights), explored in decreasing
+// σ order (max-product Dijkstra). The search terminates early, NRA
+// style: unseen taggers contribute at most the current frontier σ.
+#ifndef S3_BASELINE_TOPKS_H_
+#define S3_BASELINE_TOPKS_H_
+
+#include <vector>
+
+#include "baseline/uit.h"
+#include "common/status.h"
+
+namespace s3::baseline {
+
+struct TopkSOptions {
+  // Blend between social and textual score; higher α forces deeper
+  // graph exploration (paper §5.3).
+  double alpha = 0.5;
+  size_t k = 10;
+  double epsilon = 1e-12;
+  size_t max_settled_users = SIZE_MAX;  // exploration budget
+};
+
+struct TopkSResult {
+  ItemId item = kInvalidItem;
+  double score = 0.0;
+};
+
+struct TopkSStats {
+  size_t settled_users = 0;    // users popped from the Dijkstra queue
+  size_t items_examined = 0;   // distinct items touched
+  bool converged = false;
+  double elapsed_seconds = 0.0;
+  // Every item the search examined (candidate universe for the Fig. 8
+  // reachability metrics).
+  std::vector<ItemId> examined_items;
+};
+
+class TopkSSearcher {
+ public:
+  TopkSSearcher(const UitInstance& uit, TopkSOptions options);
+
+  Result<std::vector<TopkSResult>> Search(uint32_t seeker,
+                                          const std::vector<KeywordId>& query,
+                                          TopkSStats* stats = nullptr) const;
+
+ private:
+  const UitInstance& uit_;
+  TopkSOptions options_;
+};
+
+}  // namespace s3::baseline
+
+#endif  // S3_BASELINE_TOPKS_H_

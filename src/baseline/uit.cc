@@ -1,0 +1,88 @@
+#include "baseline/uit.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace s3::baseline {
+
+namespace {
+const std::vector<uint32_t> kNoUsers;
+const std::vector<ItemId> kNoItems;
+const std::vector<std::pair<ItemId, KeywordId>> kNoTriples;
+}  // namespace
+
+ItemId UitInstance::AddItem() {
+  return static_cast<ItemId>(n_items_++);
+}
+
+void UitInstance::AddUserLink(uint32_t from, uint32_t to, double weight) {
+  assert(from < links_.size() && to < links_.size());
+  links_[from].push_back(UserLink{to, static_cast<float>(weight)});
+}
+
+void UitInstance::AddTriple(uint32_t user, ItemId item, KeywordId tag) {
+  assert(user < links_.size() && item < n_items_);
+  auto& tg = taggers_[Key(item, tag)];
+  if (std::find(tg.begin(), tg.end(), user) != tg.end()) return;
+  tg.push_back(user);
+  ++n_triples_;
+  auto& items = items_with_tag_[tag];
+  if (items.empty() || items.back() != item) {
+    if (std::find(items.begin(), items.end(), item) == items.end()) {
+      items.push_back(item);
+    }
+  }
+  max_taggers_[tag] =
+      std::max<uint32_t>(max_taggers_[tag], static_cast<uint32_t>(tg.size()));
+  if (user_triples_.size() < links_.size()) {
+    user_triples_.resize(links_.size());
+  }
+  user_triples_[user].emplace_back(item, tag);
+}
+
+void UitInstance::AddItemTerm(ItemId item, KeywordId term, uint32_t count) {
+  uint32_t& tf = tf_[Key(item, term)];
+  if (tf == 0) items_with_term_[term].push_back(item);
+  tf += count;
+  max_tf_[term] = std::max(max_tf_[term], tf);
+}
+
+const std::vector<uint32_t>& UitInstance::Taggers(ItemId item,
+                                                  KeywordId tag) const {
+  auto it = taggers_.find(Key(item, tag));
+  return it == taggers_.end() ? kNoUsers : it->second;
+}
+
+const std::vector<ItemId>& UitInstance::ItemsWithTag(KeywordId tag) const {
+  auto it = items_with_tag_.find(tag);
+  return it == items_with_tag_.end() ? kNoItems : it->second;
+}
+
+uint32_t UitInstance::Tf(ItemId item, KeywordId term) const {
+  auto it = tf_.find(Key(item, term));
+  return it == tf_.end() ? 0 : it->second;
+}
+
+const std::vector<ItemId>& UitInstance::ItemsWithTerm(
+    KeywordId term) const {
+  auto it = items_with_term_.find(term);
+  return it == items_with_term_.end() ? kNoItems : it->second;
+}
+
+uint32_t UitInstance::MaxTf(KeywordId term) const {
+  auto it = max_tf_.find(term);
+  return it == max_tf_.end() ? 0 : it->second;
+}
+
+uint32_t UitInstance::MaxTaggers(KeywordId tag) const {
+  auto it = max_taggers_.find(tag);
+  return it == max_taggers_.end() ? 0 : it->second;
+}
+
+const std::vector<std::pair<ItemId, KeywordId>>& UitInstance::TriplesOf(
+    uint32_t user) const {
+  if (user >= user_triples_.size()) return kNoTriples;
+  return user_triples_[user];
+}
+
+}  // namespace s3::baseline

@@ -1,0 +1,85 @@
+// UIT (user-item-tag) model: the data model of the TopkS baseline
+// [Maniu & Cautis, CIKM'13], as described in paper §5.1.
+//
+// Items are atomic (no structure, no semantics); (user, item, tag)
+// triples record endorsements/annotations; weighted user-user links
+// form the social network.
+#ifndef S3_BASELINE_UIT_H_
+#define S3_BASELINE_UIT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace s3::baseline {
+
+using ItemId = uint32_t;
+inline constexpr ItemId kInvalidItem = UINT32_MAX;
+
+struct UserLink {
+  uint32_t to = 0;
+  float weight = 0.0f;
+};
+
+// In-memory UIT instance.
+class UitInstance {
+ public:
+  // Population.
+  void SetUserCount(uint32_t n) { links_.resize(n); }
+  ItemId AddItem();
+  void AddUserLink(uint32_t from, uint32_t to, double weight);
+  void AddTriple(uint32_t user, ItemId item, KeywordId tag);
+  void AddItemTerm(ItemId item, KeywordId term, uint32_t count = 1);
+
+  // Access.
+  uint32_t UserCount() const { return static_cast<uint32_t>(links_.size()); }
+  size_t ItemCount() const { return n_items_; }
+  size_t TripleCount() const { return n_triples_; }
+  const std::vector<UserLink>& LinksOf(uint32_t user) const {
+    return links_[user];
+  }
+
+  // Users who tagged `item` with `tag`.
+  const std::vector<uint32_t>& Taggers(ItemId item, KeywordId tag) const;
+
+  // Items tagged with `tag` by anyone.
+  const std::vector<ItemId>& ItemsWithTag(KeywordId tag) const;
+
+  // Term frequency of `term` in `item`'s content.
+  uint32_t Tf(ItemId item, KeywordId term) const;
+
+  // Items whose content contains `term`.
+  const std::vector<ItemId>& ItemsWithTerm(KeywordId term) const;
+
+  // Max tf of `term` over all items (for tf normalization); 0 if absent.
+  uint32_t MaxTf(KeywordId term) const;
+
+  // Max number of taggers any item has for `tag` (for score bounds).
+  uint32_t MaxTaggers(KeywordId tag) const;
+
+  // Triples of a given user: (item, tag) pairs.
+  const std::vector<std::pair<ItemId, KeywordId>>& TriplesOf(
+      uint32_t user) const;
+
+ private:
+  static uint64_t Key(uint32_t a, uint32_t b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  size_t n_items_ = 0;
+  size_t n_triples_ = 0;
+  std::vector<std::vector<UserLink>> links_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> taggers_;  // (item,tag)
+  std::unordered_map<KeywordId, std::vector<ItemId>> items_with_tag_;
+  std::unordered_map<uint64_t, uint32_t> tf_;  // (item,term)
+  std::unordered_map<KeywordId, std::vector<ItemId>> items_with_term_;
+  std::unordered_map<KeywordId, uint32_t> max_tf_;
+  std::unordered_map<KeywordId, uint32_t> max_taggers_;
+  std::vector<std::vector<std::pair<ItemId, KeywordId>>> user_triples_;
+};
+
+}  // namespace s3::baseline
+
+#endif  // S3_BASELINE_UIT_H_

@@ -1,0 +1,124 @@
+// Deterministic pseudo-random generation for workload synthesis.
+//
+// All generators in the library take an explicit seed so that every
+// synthetic instance, query workload, and benchmark is exactly
+// reproducible run-to-run (a requirement for comparing S3k and TopkS on
+// identical inputs).
+#ifndef S3_COMMON_RNG_H_
+#define S3_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace s3 {
+
+// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
+// Seeded through SplitMix64 so that small consecutive seeds give
+// uncorrelated streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Precondition: bound > 0.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    // Lemire's nearly-divisionless bounded sampling.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = (-bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli draw with success probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  // Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+// Samples from a Zipf(s) distribution over {0, ..., n-1} using a
+// precomputed cumulative table (exact inverse-CDF sampling). Rank 0 is
+// the most probable outcome. Used to give synthetic social graphs and
+// keyword distributions the heavy-tailed shape of the real datasets.
+class ZipfSampler {
+ public:
+  // Precondition: n >= 1, exponent > 0.
+  ZipfSampler(size_t n, double exponent) : cdf_(n) {
+    assert(n >= 1);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+      cdf_[i] = total;
+    }
+    for (size_t i = 0; i < n; ++i) cdf_[i] /= total;
+    cdf_.back() = 1.0;  // guard against rounding
+  }
+
+  size_t Sample(Rng& rng) const {
+    double u = rng.NextDouble();
+    // Binary search for the first cdf entry >= u.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace s3
+
+#endif  // S3_COMMON_RNG_H_

@@ -1,0 +1,50 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace s3 {
+
+namespace {
+
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  assert(!sorted.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(pos));
+  size_t hi = static_cast<size_t>(std::ceil(pos));
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double Quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return SortedQuantile(values, q);
+}
+
+QuartileSummary Summarize(const std::vector<double>& values) {
+  assert(!values.empty());
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  QuartileSummary s;
+  s.min = sorted.front();
+  s.q1 = SortedQuantile(sorted, 0.25);
+  s.median = SortedQuantile(sorted, 0.5);
+  s.q3 = SortedQuantile(sorted, 0.75);
+  s.max = sorted.back();
+  s.count = sorted.size();
+  return s;
+}
+
+double Mean(const std::vector<double>& values) {
+  assert(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace s3

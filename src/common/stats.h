@@ -1,0 +1,34 @@
+// Small descriptive-statistics helpers used by the benchmark harnesses
+// (median run times for Fig. 5/6, quartile whiskers for Fig. 7).
+#ifndef S3_COMMON_STATS_H_
+#define S3_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace s3 {
+
+// Five-number summary of a sample.
+struct QuartileSummary {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  size_t count = 0;
+};
+
+// Linear-interpolation quantile (type-7, the numpy default) of an
+// unsorted sample. Precondition: !values.empty(), 0 <= q <= 1.
+double Quantile(std::vector<double> values, double q);
+
+// Computes min/Q1/median/Q3/max of a sample.
+// Precondition: !values.empty().
+QuartileSummary Summarize(const std::vector<double>& values);
+
+// Arithmetic mean. Precondition: !values.empty().
+double Mean(const std::vector<double>& values);
+
+}  // namespace s3
+
+#endif  // S3_COMMON_STATS_H_

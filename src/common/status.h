@@ -1,0 +1,125 @@
+// Status and Result<T>: lightweight error propagation without exceptions,
+// in the style of RocksDB/Arrow. Functions on hot paths return Status (or
+// Result<T>) instead of throwing; callers must inspect the code.
+#ifndef S3_COMMON_STATUS_H_
+#define S3_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace s3 {
+
+// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+// Human-readable name of a StatusCode, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+// A Status is either OK (no payload) or an error code plus a message.
+class Status {
+ public:
+  // Default construction yields OK.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> carries either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error status keeps call
+  // sites terse: `return value;` / `return Status::NotFound(...)`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result must not be built from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  // Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+// Propagates a non-OK status to the caller.
+#define S3_RETURN_IF_ERROR(expr)           \
+  do {                                     \
+    ::s3::Status _s3_status = (expr);      \
+    if (!_s3_status.ok()) return _s3_status; \
+  } while (false)
+
+}  // namespace s3
+
+#endif  // S3_COMMON_STATUS_H_

@@ -1,0 +1,27 @@
+// String helpers shared across the library.
+#ifndef S3_COMMON_STR_UTIL_H_
+#define S3_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace s3 {
+
+// ASCII lowercasing (the library's text pipeline is ASCII-oriented;
+// non-ASCII bytes pass through unchanged).
+std::string ToLowerAscii(std::string_view in);
+
+// Splits on any of the characters in `delims`, dropping empty pieces.
+std::vector<std::string> Split(std::string_view in, std::string_view delims);
+
+// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+}  // namespace s3
+
+#endif  // S3_COMMON_STR_UTIL_H_

@@ -1,0 +1,108 @@
+// Minimal persistent thread pool for intra-query parallelism (paper
+// §5.2 uses 8 concurrent threads with a custom scheduler).
+//
+// Spawning std::thread per parallel region costs tens of microseconds
+// per worker — more than an S3k iteration's work at bench scale — so
+// the searcher keeps one pool for its lifetime.
+#ifndef S3_COMMON_THREAD_POOL_H_
+#define S3_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace s3 {
+
+class ThreadPool {
+ public:
+  // Spawns `workers` threads (at least 1).
+  explicit ThreadPool(unsigned workers) {
+    if (workers < 1) workers = 1;
+    for (unsigned i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+      ++generation_;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t WorkerCount() const { return threads_.size(); }
+
+  // Runs fn(i) for every i in [0, n), striped across the workers and
+  // the calling thread; returns when all iterations finished.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+    if (n == 0) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      task_ = &fn;
+      task_size_ = n;
+      next_.store(0, std::memory_order_relaxed);
+      pending_workers_ = threads_.size();
+      ++generation_;
+    }
+    cv_.notify_all();
+    RunChunk(fn, n);  // the caller participates
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
+    task_ = nullptr;
+  }
+
+ private:
+  void RunChunk(const std::function<void(size_t)>& fn, size_t n) {
+    for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next_.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  }
+
+  void WorkerLoop() {
+    uint64_t seen_generation = 0;
+    while (true) {
+      const std::function<void(size_t)>* task = nullptr;
+      size_t n = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] {
+          return shutdown_ || generation_ != seen_generation;
+        });
+        if (shutdown_) return;
+        seen_generation = generation_;
+        task = task_;
+        n = task_size_;
+      }
+      if (task != nullptr) RunChunk(*task, n);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_workers_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t)>* task_ = nullptr;
+  size_t task_size_ = 0;
+  std::atomic<size_t> next_{0};
+  size_t pending_workers_ = 0;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace s3
+
+#endif  // S3_COMMON_THREAD_POOL_H_

@@ -1,0 +1,30 @@
+// Wall-clock timer for the benchmark harnesses.
+#ifndef S3_COMMON_TIMER_H_
+#define S3_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace s3 {
+
+// Measures elapsed wall-clock time since construction or Reset().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed seconds since the last Reset() (or construction).
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace s3
+
+#endif  // S3_COMMON_TIMER_H_

@@ -1,0 +1,299 @@
+#include "core/connections.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace s3::core {
+
+using social::EntityId;
+using social::EntityKind;
+
+ConnectionBuilder::ConnectionBuilder(const S3Instance& instance, double eta)
+    : instance_(instance), eta_(eta) {
+  assert(instance.finalized());
+}
+
+bool ConnectionBuilder::NodeContainsMatch(doc::NodeId n,
+                                          const QueryExtension& ext,
+                                          size_t qi) const {
+  for (KeywordId k : instance_.docs().node(n).keywords) {
+    if (ext[qi].contains(k)) return true;
+  }
+  return false;
+}
+
+bool ConnectionBuilder::TagGrounded(social::TagId t, size_t qi,
+                                    const QueryExtension& ext) {
+  Key key{t, static_cast<uint32_t>(qi)};
+  auto it = tag_grounded_memo_.find(key);
+  if (it != tag_grounded_memo_.end()) return it->second;
+  const Tag& tag = instance_.tags()[t];
+  bool grounded = tag.keyword != kInvalidKeyword &&
+                  ext[qi].contains(tag.keyword);
+  if (!grounded) {
+    for (social::TagId b : instance_.TagsOn(EntityId::Tag(t))) {
+      if (TagGrounded(b, qi, ext)) {
+        grounded = true;
+        break;
+      }
+    }
+  }
+  tag_grounded_memo_.emplace(key, grounded);
+  return grounded;
+}
+
+bool ConnectionBuilder::FragmentGrounded(doc::NodeId f, size_t qi,
+                                         const QueryExtension& ext) {
+  Key key{f, static_cast<uint32_t>(qi)};
+  auto it = frag_grounded_memo_.find(key);
+  if (it != frag_grounded_memo_.end()) return it->second;
+  // Least-fixpoint guard: a cycle of comments grounds nothing.
+  Key guard{f, static_cast<uint32_t>(qi) | 0x40000000u};
+  if (in_progress_.contains(guard)) return false;
+  in_progress_.insert(guard);
+
+  bool grounded = false;
+  const doc::DocumentStore& docs = instance_.docs();
+  std::vector<doc::NodeId> subtree{f};
+  {
+    doc::DocId d = docs.DocOf(f);
+    for (uint32_t local : docs.document(d).Descendants(docs.LocalOf(f))) {
+      subtree.push_back(docs.GlobalId(d, local));
+    }
+  }
+  for (doc::NodeId n : subtree) {
+    if (NodeContainsMatch(n, ext, qi)) {
+      grounded = true;
+      break;
+    }
+    for (social::TagId t : instance_.TagsOn(EntityId::Fragment(n))) {
+      if (TagGrounded(t, qi, ext)) {
+        grounded = true;
+        break;
+      }
+    }
+    if (grounded) break;
+    for (doc::NodeId c : instance_.CommentsOnFragment(n)) {
+      if (FragmentGrounded(c, qi, ext)) {
+        grounded = true;
+        break;
+      }
+    }
+    if (grounded) break;
+  }
+  in_progress_.erase(guard);
+  frag_grounded_memo_.emplace(key, grounded);
+  return grounded;
+}
+
+const std::unordered_set<uint32_t>& ConnectionBuilder::TagSources(
+    social::TagId t, size_t qi, const QueryExtension& ext) {
+  Key key{t, static_cast<uint32_t>(qi)};
+  auto it = tag_memo_.find(key);
+  if (it != tag_memo_.end()) return it->second;
+
+  std::unordered_set<uint32_t> sources;
+  const Tag& tag = instance_.tags()[t];
+  const uint32_t author_row = instance_.RowOfUser(tag.author);
+
+  if (tag.keyword != kInvalidKeyword) {
+    if (ext[qi].contains(tag.keyword)) sources.insert(author_row);
+  } else {
+    // Endorsement: the author becomes a source iff the subject has a
+    // grounded connection to the keyword.
+    bool grounded = false;
+    if (tag.subject.kind() == EntityKind::kFragment) {
+      grounded = FragmentGrounded(tag.subject.index(), qi, ext);
+    } else if (tag.subject.kind() == EntityKind::kTag) {
+      grounded = TagGrounded(tag.subject.index(), qi, ext);
+    }
+    if (grounded) sources.insert(author_row);
+  }
+
+  // Higher-level tags: tags on this tag add their own sources
+  // (paper R4; the tag "adds its connections to the tagged fragment").
+  for (social::TagId b : instance_.TagsOn(EntityId::Tag(t))) {
+    const auto& sub = TagSources(b, qi, ext);
+    sources.insert(sub.begin(), sub.end());
+  }
+  return tag_memo_.emplace(key, std::move(sources)).first->second;
+}
+
+const std::unordered_set<uint32_t>& ConnectionBuilder::DocSources(
+    doc::NodeId root, size_t qi, const QueryExtension& ext) {
+  Key key{root, static_cast<uint32_t>(qi)};
+  auto it = doc_memo_.find(key);
+  if (it != doc_memo_.end()) return it->second;
+  // Cycle guard for comment loops: contribute nothing on re-entry.
+  Key guard{root, static_cast<uint32_t>(qi) | 0x80000000u};
+  static const std::unordered_set<uint32_t> kEmpty;
+  if (in_progress_.contains(guard)) {
+    return kEmpty;
+  }
+  in_progress_.insert(guard);
+
+  std::unordered_set<uint32_t> sources;
+  const doc::DocumentStore& docs = instance_.docs();
+  std::vector<doc::NodeId> subtree{root};
+  {
+    doc::DocId d = docs.DocOf(root);
+    for (uint32_t local : docs.document(d).Descendants(docs.LocalOf(root))) {
+      subtree.push_back(docs.GlobalId(d, local));
+    }
+  }
+  bool has_contains = false;
+  for (doc::NodeId n : subtree) {
+    if (!has_contains && NodeContainsMatch(n, ext, qi)) {
+      has_contains = true;
+    }
+    for (social::TagId t : instance_.TagsOn(EntityId::Fragment(n))) {
+      const auto& ts = TagSources(t, qi, ext);
+      sources.insert(ts.begin(), ts.end());
+    }
+    for (doc::NodeId c : instance_.CommentsOnFragment(n)) {
+      const auto& cs = DocSources(c, qi, ext);
+      sources.insert(cs.begin(), cs.end());
+    }
+  }
+  if (has_contains) {
+    // The document itself is the source of its contains connections.
+    sources.insert(instance_.RowOfFragment(root));
+  }
+  in_progress_.erase(guard);
+  return doc_memo_.emplace(key, std::move(sources)).first->second;
+}
+
+std::vector<std::vector<AttachmentEvent>> ConnectionBuilder::CollectEvents(
+    social::ComponentId comp, const QueryExtension& ext) {
+  const social::EntityLayout& layout = instance_.layout();
+  std::vector<std::vector<AttachmentEvent>> events(ext.size());
+
+  for (size_t qi = 0; qi < ext.size(); ++qi) {
+    for (uint32_t row : instance_.components().Members(comp)) {
+      EntityId e = layout.Entity(row);
+      if (e.kind() != EntityKind::kFragment) continue;
+      doc::NodeId f = e.index();
+      // S3:contains — one tuple (contains, f, d) per matching fragment.
+      if (NodeContainsMatch(f, ext, qi)) {
+        events[qi].push_back(
+            AttachmentEvent{f, kSelfSource, ConnectionType::kContains});
+      }
+      // S3:relatedTo — tag chains rooted on f.
+      std::unordered_set<uint32_t> tag_sources;
+      for (social::TagId t : instance_.TagsOn(EntityId::Fragment(f))) {
+        const auto& ts = TagSources(t, qi, ext);
+        tag_sources.insert(ts.begin(), ts.end());
+      }
+      for (uint32_t src : tag_sources) {
+        events[qi].push_back(
+            AttachmentEvent{f, src, ConnectionType::kRelatedTo});
+      }
+      // S3:commentsOn — sources of comments on f carry over.
+      std::unordered_set<uint32_t> comment_sources;
+      for (doc::NodeId c : instance_.CommentsOnFragment(f)) {
+        const auto& cs = DocSources(c, qi, ext);
+        comment_sources.insert(cs.begin(), cs.end());
+      }
+      for (uint32_t src : comment_sources) {
+        events[qi].push_back(
+            AttachmentEvent{f, src, ConnectionType::kCommentsOn});
+      }
+    }
+  }
+  return events;
+}
+
+ComponentCandidates ConnectionBuilder::Build(social::ComponentId comp,
+                                             const QueryExtension& ext) {
+  const doc::DocumentStore& docs = instance_.docs();
+  const size_t n_keywords = ext.size();
+  assert(n_keywords <= 64 && "queries are limited to 64 keywords");
+
+  ComponentCandidates out;
+  out.component = comp;
+
+  std::vector<std::vector<AttachmentEvent>> events =
+      CollectEvents(comp, ext);
+  for (size_t qi = 0; qi < n_keywords; ++qi) {
+    if (events[qi].empty()) return out;  // component cannot match
+  }
+
+  // Coverage pass: which nodes have at least one event for each
+  // keyword anywhere in their subtree?
+  const uint64_t full_mask =
+      n_keywords == 64 ? ~0ull : ((1ull << n_keywords) - 1);
+  std::unordered_map<doc::NodeId, uint64_t> coverage;
+  for (size_t qi = 0; qi < n_keywords; ++qi) {
+    for (const AttachmentEvent& ev : events[qi]) {
+      coverage[ev.fragment] |= (1ull << qi);
+      for (doc::NodeId a : docs.Ancestors(ev.fragment)) {
+        coverage[a] |= (1ull << qi);
+      }
+    }
+  }
+
+  // Aggregation pass for fully covered candidates.
+  std::unordered_map<doc::NodeId, uint32_t> cand_index;
+  for (const auto& [node, mask] : coverage) {
+    if (mask != full_mask) continue;
+    uint32_t idx = static_cast<uint32_t>(out.candidates.size());
+    cand_index.emplace(node, idx);
+    Candidate c;
+    c.node = node;
+    c.sources.resize(n_keywords);
+    c.static_weight.assign(n_keywords, 0.0);
+    out.candidates.push_back(std::move(c));
+  }
+  if (out.candidates.empty()) return out;
+
+  // For each event, add its weight to every covered ancestor-or-self.
+  std::vector<std::vector<std::unordered_map<uint32_t, double>>> weights(
+      out.candidates.size());
+  for (auto& w : weights) w.resize(n_keywords);
+
+  for (size_t qi = 0; qi < n_keywords; ++qi) {
+    for (const AttachmentEvent& ev : events[qi]) {
+      doc::NodeId cur = ev.fragment;
+      size_t distance = 0;
+      while (true) {
+        auto it = cand_index.find(cur);
+        if (it != cand_index.end()) {
+          uint32_t src = ev.source_row == kSelfSource
+                             ? instance_.RowOfFragment(cur)
+                             : ev.source_row;
+          weights[it->second][qi][src] +=
+              std::pow(eta_, static_cast<double>(distance));
+        }
+        const doc::Node& node = docs.node(cur);
+        uint32_t parent_local = node.parent;
+        if (parent_local == UINT32_MAX) break;
+        cur = docs.GlobalId(docs.DocOf(cur), parent_local);
+        ++distance;
+      }
+    }
+  }
+
+  for (size_t ci = 0; ci < out.candidates.size(); ++ci) {
+    Candidate& c = out.candidates[ci];
+    double cap = 1.0;
+    for (size_t qi = 0; qi < n_keywords; ++qi) {
+      double total = 0.0;
+      auto& list = c.sources[qi];
+      list.reserve(weights[ci][qi].size());
+      for (const auto& [src, w] : weights[ci][qi]) {
+        list.emplace_back(src, static_cast<float>(w));
+        total += w;
+      }
+      // Deterministic order for reproducibility.
+      std::sort(list.begin(), list.end());
+      c.static_weight[qi] = total;
+      cap *= total;
+    }
+    c.cap = cap;
+    out.max_cap = std::max(out.max_cap, cap);
+  }
+  return out;
+}
+
+}  // namespace s3::core

@@ -1,0 +1,47 @@
+// Naive reference implementations used as test oracles and by the
+// ablation benchmarks.
+//
+// NaiveProx enumerates social paths explicitly (DFS over the edge
+// store, applying the §2.5 normalization edge by edge) instead of using
+// the transition matrix, giving an independent computation of
+// prox≤L(u, ·). NaiveSearch scores every candidate with the converged
+// proximities and picks the top-k greedily — the brute-force semantics
+// that S3k must agree with.
+#ifndef S3_CORE_NAIVE_REFERENCE_H_
+#define S3_CORE_NAIVE_REFERENCE_H_
+
+#include <vector>
+
+#include "core/s3k.h"
+
+namespace s3::core {
+
+// prox≤max_len(seeker, v) for every entity row v, by explicit path
+// enumeration. Exponential in max_len on dense graphs — use on small
+// instances only.
+std::vector<double> NaiveProx(const S3Instance& instance,
+                              social::UserId seeker, size_t max_len,
+                              double gamma);
+
+// Shortest-path-style proximity (max over paths of prox→(p)/γ^|p|,
+// times Cγ): what a one-best-path engine like TopkS uses in place of
+// the all-paths aggregation. Used by the ablation bench.
+std::vector<double> NaiveBestPathProx(const S3Instance& instance,
+                                      social::UserId seeker, size_t max_len,
+                                      double gamma);
+
+// Brute-force top-k with exact (depth-bounded) proximities.
+std::vector<ResultEntry> NaiveSearch(const S3Instance& instance,
+                                     const Query& query,
+                                     const S3kOptions& options,
+                                     size_t max_len);
+
+// Brute-force top-k given an arbitrary per-row proximity vector
+// (lets ablations swap the proximity model).
+std::vector<ResultEntry> NaiveSearchWithProx(
+    const S3Instance& instance, const Query& query,
+    const S3kOptions& options, const std::vector<double>& prox);
+
+}  // namespace s3::core
+
+#endif  // S3_CORE_NAIVE_REFERENCE_H_

@@ -1,0 +1,306 @@
+#include "core/s3_instance.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rdf/vocab.h"
+
+namespace s3::core {
+
+using social::EdgeLabel;
+using social::EntityId;
+
+namespace {
+const std::vector<social::TagId> kNoTags;
+const std::vector<doc::NodeId> kNoComments;
+const std::vector<social::ComponentId> kNoComponents;
+}  // namespace
+
+S3Instance::S3Instance() {
+  // Pre-intern the S3 vocabulary and its RDFS wiring so that user
+  // ontologies can specialize S3 properties (paper §2.2 Extensibility).
+  rdf::TermId social_p = terms_.InternUri(rdf::vocab::kSocial);
+  rdf::TermId comments_p = terms_.InternUri(rdf::vocab::kCommentsOn);
+  rdf::TermId posted_p = terms_.InternUri(rdf::vocab::kPostedBy);
+  rdf::TermId related_c = terms_.InternUri(rdf::vocab::kRelatedTo);
+  (void)social_p;
+  (void)comments_p;
+  (void)posted_p;
+  (void)related_c;
+}
+
+social::UserId S3Instance::AddUser(std::string uri) {
+  social::UserId id = static_cast<social::UserId>(users_.size());
+  users_.push_back(User{id, std::move(uri)});
+  // u type S3:user
+  rdf_.Add(terms_.InternUri(users_.back().uri),
+           terms_.InternUri(rdf::vocab::kType),
+           terms_.InternUri(rdf::vocab::kUserClass));
+  return id;
+}
+
+Status S3Instance::AddSocialEdge(social::UserId from, social::UserId to,
+                                 double weight) {
+  S3_RETURN_IF_ERROR(RequireNotFinalized("AddSocialEdge"));
+  if (from >= users_.size() || to >= users_.size()) {
+    return Status::InvalidArgument("unknown user id in social edge");
+  }
+  if (!(weight > 0.0 && weight <= 1.0)) {
+    return Status::InvalidArgument("social edge weight must be in (0,1]");
+  }
+  edges_.Add(EntityId::User(from), EntityId::User(to), EdgeLabel::kSocial,
+             weight);
+  explicit_social_.push_back(ExplicitSocialEdge{from, to, weight});
+  return Status::OK();
+}
+
+Result<doc::DocId> S3Instance::AddDocument(doc::Document document,
+                                           std::string uri,
+                                           social::UserId poster) {
+  if (finalized_) {
+    return Status::FailedPrecondition("AddDocument after Finalize");
+  }
+  if (poster >= users_.size()) {
+    return Status::InvalidArgument("unknown poster user id");
+  }
+  Result<doc::DocId> added = docs_.AddDocument(std::move(document), uri);
+  if (!added.ok()) return added.status();
+  doc::DocId d = added.value();
+  comment_target_.push_back(doc::kInvalidNode);
+  // root S3:postedBy poster (+ inverse).
+  edges_.AddWithInverse(EntityId::Fragment(docs_.RootNode(d)),
+                        EntityId::User(poster), EdgeLabel::kPostedBy, 1.0);
+  return d;
+}
+
+Status S3Instance::AddComment(doc::DocId comment, doc::NodeId target) {
+  S3_RETURN_IF_ERROR(RequireNotFinalized("AddComment"));
+  if (comment >= docs_.DocumentCount() || target >= docs_.NodeCount()) {
+    return Status::InvalidArgument("unknown document or node in AddComment");
+  }
+  doc::NodeId root = docs_.RootNode(comment);
+  if (root == target ||
+      (docs_.DocOf(target) == comment)) {
+    return Status::InvalidArgument("a document cannot comment on itself");
+  }
+  edges_.AddWithInverse(EntityId::Fragment(root),
+                        EntityId::Fragment(target),
+                        EdgeLabel::kCommentsOn, 1.0);
+  comments_on_[target].push_back(root);
+  comment_target_[comment] = target;
+  return Status::OK();
+}
+
+Result<social::TagId> S3Instance::AddTagOnFragment(social::UserId author,
+                                                   doc::NodeId subject,
+                                                   KeywordId keyword) {
+  if (finalized_) {
+    return Status::FailedPrecondition("AddTagOnFragment after Finalize");
+  }
+  if (author >= users_.size()) {
+    return Status::InvalidArgument("unknown tag author");
+  }
+  if (subject >= docs_.NodeCount()) {
+    return Status::InvalidArgument("unknown tag subject node");
+  }
+  social::TagId id = static_cast<social::TagId>(tags_.size());
+  tags_.push_back(Tag{id, author, EntityId::Fragment(subject), keyword});
+  EntityId te = EntityId::Tag(id);
+  edges_.AddWithInverse(te, EntityId::Fragment(subject),
+                        EdgeLabel::kHasSubject, 1.0);
+  edges_.AddWithInverse(te, EntityId::User(author), EdgeLabel::kHasAuthor,
+                        1.0);
+  tags_on_[EntityId::Fragment(subject)].push_back(id);
+  return id;
+}
+
+Result<social::TagId> S3Instance::AddTagOnTag(social::UserId author,
+                                              social::TagId subject,
+                                              KeywordId keyword) {
+  if (finalized_) {
+    return Status::FailedPrecondition("AddTagOnTag after Finalize");
+  }
+  if (author >= users_.size()) {
+    return Status::InvalidArgument("unknown tag author");
+  }
+  if (subject >= tags_.size()) {
+    return Status::InvalidArgument("unknown subject tag");
+  }
+  social::TagId id = static_cast<social::TagId>(tags_.size());
+  tags_.push_back(Tag{id, author, EntityId::Tag(subject), keyword});
+  EntityId te = EntityId::Tag(id);
+  edges_.AddWithInverse(te, EntityId::Tag(subject), EdgeLabel::kHasSubject,
+                        1.0);
+  edges_.AddWithInverse(te, EntityId::User(author), EdgeLabel::kHasAuthor,
+                        1.0);
+  tags_on_[EntityId::Tag(subject)].push_back(id);
+  return id;
+}
+
+void S3Instance::DeclareSubClass(const std::string& sub,
+                                 const std::string& super) {
+  rdf_.Add(terms_.InternUri(sub), terms_.InternUri(rdf::vocab::kSubClassOf),
+           terms_.InternUri(super));
+}
+
+void S3Instance::DeclareSubProperty(const std::string& sub,
+                                    const std::string& super) {
+  rdf_.Add(terms_.InternUri(sub),
+           terms_.InternUri(rdf::vocab::kSubPropertyOf),
+           terms_.InternUri(super));
+}
+
+void S3Instance::DeclareType(const std::string& instance,
+                             const std::string& klass) {
+  rdf_.Add(terms_.InternUri(instance), terms_.InternUri(rdf::vocab::kType),
+           terms_.InternUri(klass));
+}
+
+std::vector<KeywordId> S3Instance::InternText(std::string_view text) {
+  std::vector<KeywordId> out;
+  for (const std::string& word : ExtractKeywords(text)) {
+    out.push_back(vocabulary_.Intern(word));
+  }
+  return out;
+}
+
+Status S3Instance::RequireNotFinalized(const char* op) const {
+  if (finalized_) {
+    return Status::FailedPrecondition(std::string(op) + " after Finalize");
+  }
+  return Status::OK();
+}
+
+Status S3Instance::Finalize() {
+  S3_RETURN_IF_ERROR(RequireNotFinalized("Finalize"));
+  // 1. RDFS closure; the semantics of the graph is its saturation.
+  saturation_stats_ = rdf::Saturate(terms_, rdf_);
+
+  // 1b. Extensibility (paper §2.2): RDF-declared social relationships
+  // join the network. After saturation, any specialization p ≺sp
+  // S3:social has already propagated its assertions to S3:social
+  // itself, so scanning S3:social triples suffices.
+  {
+    rdf::TermId social_p = terms_.InternUri(rdf::vocab::kSocial);
+    rdf::TermId sub_p = terms_.InternUri(rdf::vocab::kSubPropertyOf);
+    std::unordered_map<std::string, social::UserId> user_of_uri;
+    for (const User& u : users_) user_of_uri.emplace(u.uri, u.id);
+    auto import_triple = [&](const rdf::Triple& t) {
+      if (terms_.Kind(t.object) != rdf::TermKind::kUri) return;
+      auto from = user_of_uri.find(terms_.Text(t.subject));
+      auto to = user_of_uri.find(terms_.Text(t.object));
+      if (from == user_of_uri.end() || to == user_of_uri.end()) return;
+      if (!(t.weight > 0.0 && t.weight <= 1.0)) return;
+      edges_.Add(social::EntityId::User(from->second),
+                 social::EntityId::User(to->second),
+                 social::EdgeLabel::kSocial, t.weight);
+      ++rdf_social_edges_;
+    };
+    // Weight-1 assertions of sub-properties were propagated to
+    // S3:social by saturation; weighted assertions are not (inference
+    // is restricted to weight 1), so pick them up from each
+    // specialization directly.
+    for (uint32_t idx : rdf_.WithProperty(social_p)) {
+      import_triple(rdf_.triples()[idx]);
+    }
+    for (uint32_t sub_idx : rdf_.WithPropertyObject(sub_p, social_p)) {
+      rdf::TermId p = rdf_.triples()[sub_idx].subject;
+      if (p == social_p) continue;
+      for (uint32_t idx : rdf_.WithProperty(p)) {
+        const rdf::Triple& t = rdf_.triples()[idx];
+        if (t.weight != 1.0) import_triple(t);
+      }
+    }
+  }
+
+  // 2. Entity layout over the final populations.
+  layout_.emplace(static_cast<uint32_t>(users_.size()),
+                  static_cast<uint32_t>(docs_.NodeCount()),
+                  static_cast<uint32_t>(tags_.size()));
+
+  // 3. Keyword -> fragment postings.
+  index_.Rebuild(docs_);
+
+  // 4. Normalized transition matrix and component partition.
+  matrix_.Build(*layout_, edges_, docs_);
+  components_.Build(*layout_, edges_, docs_);
+
+  // 5. Keyword -> component directory (fragments containing k, tags
+  // keyworded with k).
+  comps_with_keyword_.clear();
+  for (KeywordId k : index_.Keywords()) {
+    auto& comps = comps_with_keyword_[k];
+    for (doc::NodeId n : index_.Postings(k)) {
+      comps.push_back(components_.Of(EntityId::Fragment(n)));
+    }
+  }
+  for (const Tag& tag : tags_) {
+    if (tag.keyword == kInvalidKeyword) continue;
+    comps_with_keyword_[tag.keyword].push_back(
+        components_.Of(EntityId::Tag(tag.id)));
+  }
+  for (auto& [k, comps] : comps_with_keyword_) {
+    std::sort(comps.begin(), comps.end());
+    comps.erase(std::unique(comps.begin(), comps.end()), comps.end());
+  }
+
+  finalized_ = true;
+  return Status::OK();
+}
+
+const social::EntityLayout& S3Instance::layout() const {
+  assert(layout_.has_value() && "layout available after Finalize only");
+  return *layout_;
+}
+
+const std::vector<social::TagId>& S3Instance::TagsOn(
+    social::EntityId subject) const {
+  auto it = tags_on_.find(subject);
+  return it == tags_on_.end() ? kNoTags : it->second;
+}
+
+const std::vector<doc::NodeId>& S3Instance::CommentsOnFragment(
+    doc::NodeId target) const {
+  auto it = comments_on_.find(target);
+  return it == comments_on_.end() ? kNoComments : it->second;
+}
+
+doc::NodeId S3Instance::CommentTarget(doc::DocId d) const {
+  return comment_target_[d];
+}
+
+std::vector<KeywordId> S3Instance::ExtendKeyword(KeywordId k) const {
+  std::vector<KeywordId> out{k};
+  const std::string& spelling = vocabulary_.Spelling(k);
+  rdf::TermId term = terms_.Find(spelling, rdf::TermKind::kUri);
+  if (term == rdf::kInvalidTerm) {
+    // Literals can also be extension anchors (e.g. a class lexicalized
+    // by a plain word).
+    term = terms_.Find(spelling, rdf::TermKind::kLiteral);
+  }
+  if (term == rdf::kInvalidTerm) return out;
+  for (rdf::TermId t : rdf::Extension(terms_, rdf_, term)) {
+    if (t == term) continue;
+    KeywordId kid = vocabulary_.Find(terms_.Text(t));
+    if (kid != kInvalidKeyword && kid != k) out.push_back(kid);
+  }
+  return out;
+}
+
+const std::vector<social::ComponentId>& S3Instance::ComponentsWithKeyword(
+    KeywordId k) const {
+  auto it = comps_with_keyword_.find(k);
+  return it == comps_with_keyword_.end() ? kNoComponents : it->second;
+}
+
+uint32_t S3Instance::RowOfUser(social::UserId u) const {
+  return layout().Row(EntityId::User(u));
+}
+uint32_t S3Instance::RowOfFragment(doc::NodeId n) const {
+  return layout().Row(EntityId::Fragment(n));
+}
+uint32_t S3Instance::RowOfTag(social::TagId t) const {
+  return layout().Row(EntityId::Tag(t));
+}
+
+}  // namespace s3::core

@@ -1,0 +1,205 @@
+// S3Instance: the unified weighted-RDF view of a social application
+// (paper §2) — users, structured documents, tags, social and
+// interaction edges, plus an RDFS ontology.
+//
+// Construction is two-phase: populate (AddUser / AddDocument / AddTag /
+// AddSocialEdge / ontology triples), then Finalize(), which saturates
+// the RDF graph and builds the derived structures the query engine
+// needs (inverted index, transition matrix, component partition,
+// keyword->component directory).
+#ifndef S3_CORE_S3_INSTANCE_H_
+#define S3_CORE_S3_INSTANCE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "doc/document_store.h"
+#include "doc/inverted_index.h"
+#include "rdf/extension.h"
+#include "rdf/saturation.h"
+#include "rdf/term_dictionary.h"
+#include "rdf/triple_store.h"
+#include "social/components.h"
+#include "social/edge_store.h"
+#include "social/entity.h"
+#include "social/transition_matrix.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace s3::core {
+
+// A tag (annotation) resource: S3:relatedTo instance with author,
+// subject and optional keyword (paper §2.4). A keyword-less tag is an
+// endorsement (like / retweet / +1).
+struct Tag {
+  social::TagId id = 0;
+  social::UserId author = 0;
+  social::EntityId subject;           // fragment or another tag
+  KeywordId keyword = kInvalidKeyword;
+
+  bool IsEndorsement() const { return keyword == kInvalidKeyword; }
+};
+
+// Registered user.
+struct User {
+  social::UserId id = 0;
+  std::string uri;
+};
+
+class S3Instance {
+ public:
+  S3Instance();
+
+  // ---- population phase ----------------------------------------------
+
+  // Registers a user with the given URI.
+  social::UserId AddUser(std::string uri);
+
+  // Adds a directed social edge of strength `weight` in (0, 1]
+  // (any specialization of S3:social).
+  Status AddSocialEdge(social::UserId from, social::UserId to,
+                       double weight);
+
+  // Registers a document posted by `poster`; adds the S3:postedBy edge
+  // (and its inverse) between the document root and the poster.
+  Result<doc::DocId> AddDocument(doc::Document document, std::string uri,
+                                 social::UserId poster);
+
+  // Declares that document `comment` comments on fragment `target`
+  // (S3:commentsOn, and inverse). Any reply / retweet-with-comment /
+  // review-thread relation specializes this.
+  Status AddComment(doc::DocId comment, doc::NodeId target);
+
+  // Adds a tag by `author` on a fragment or on another tag. Pass
+  // kInvalidKeyword for an endorsement.
+  Result<social::TagId> AddTagOnFragment(social::UserId author,
+                                         doc::NodeId subject,
+                                         KeywordId keyword);
+  Result<social::TagId> AddTagOnTag(social::UserId author,
+                                    social::TagId subject,
+                                    KeywordId keyword);
+
+  // Ontology access (population): intern terms and add schema /
+  // assertion triples. Saturation runs in Finalize().
+  rdf::TermDictionary& terms() { return terms_; }
+  rdf::TripleStore& rdf_graph() { return rdf_; }
+
+  // Schema helpers (weight-1 triples).
+  void DeclareSubClass(const std::string& sub, const std::string& super);
+  void DeclareSubProperty(const std::string& sub, const std::string& super);
+  void DeclareType(const std::string& instance, const std::string& klass);
+
+  // Keyword pipeline: interning and full text extraction.
+  KeywordId InternKeyword(std::string_view keyword) {
+    return vocabulary_.Intern(keyword);
+  }
+  std::vector<KeywordId> InternText(std::string_view text);
+
+  Vocabulary& vocabulary() { return vocabulary_; }
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+
+  // Builds all derived structures. Must be called exactly once, after
+  // population and before querying.
+  //
+  // Finalize also realizes the paper's §2.2 extensibility rule: after
+  // saturation, every weight-w RDF triple (u1 p u2) whose property p is
+  // a (transitive) sub-property of S3:social and whose endpoints are
+  // registered users becomes a social edge of weight w. Applications
+  // can thus declare relationships purely in RDF (e.g. workedWith ≺sp
+  // S3:social plus per-pair triples) and have them join the network.
+  Status Finalize();
+  bool finalized() const { return finalized_; }
+
+  // Number of social edges imported from RDF triples by Finalize.
+  size_t rdf_social_edges() const { return rdf_social_edges_; }
+
+  // Social edges added through AddSocialEdge (excluding RDF-imported
+  // ones), in insertion order — the serializable population.
+  struct ExplicitSocialEdge {
+    social::UserId from;
+    social::UserId to;
+    double weight;
+  };
+  const std::vector<ExplicitSocialEdge>& explicit_social_edges() const {
+    return explicit_social_;
+  }
+
+  // ---- finalized accessors --------------------------------------------
+
+  const doc::DocumentStore& docs() const { return docs_; }
+  const doc::InvertedIndex& index() const { return index_; }
+  const social::EdgeStore& edges() const { return edges_; }
+  const social::TransitionMatrix& matrix() const { return matrix_; }
+  const social::ComponentIndex& components() const { return components_; }
+  const social::EntityLayout& layout() const;
+  const std::vector<Tag>& tags() const { return tags_; }
+  const std::vector<User>& users() const { return users_; }
+  const rdf::TripleStore& rdf_graph() const { return rdf_; }
+  const rdf::TermDictionary& terms() const { return terms_; }
+  const rdf::SaturationStats& saturation_stats() const {
+    return saturation_stats_;
+  }
+
+  size_t UserCount() const { return users_.size(); }
+  size_t TagCount() const { return tags_.size(); }
+
+  // Tags whose subject is the given entity.
+  const std::vector<social::TagId>& TagsOn(social::EntityId subject) const;
+
+  // Root nodes of documents commenting on fragment `target`.
+  const std::vector<doc::NodeId>& CommentsOnFragment(
+      doc::NodeId target) const;
+
+  // Fragment that document `d` comments on (kInvalidNode if none).
+  doc::NodeId CommentTarget(doc::DocId d) const;
+
+  // Ext(k) mapped into keyword space: the extension of the keyword's
+  // spelling through the saturated ontology, restricted to keywords
+  // that occur in the instance. Always contains k itself (first).
+  std::vector<KeywordId> ExtendKeyword(KeywordId k) const;
+
+  // Components containing keyword k directly (a fragment containing k,
+  // or a tag with keyword k). Sorted, unique.
+  const std::vector<social::ComponentId>& ComponentsWithKeyword(
+      KeywordId k) const;
+
+  // Convenience: entity rows.
+  uint32_t RowOfUser(social::UserId u) const;
+  uint32_t RowOfFragment(doc::NodeId n) const;
+  uint32_t RowOfTag(social::TagId t) const;
+
+ private:
+  Status RequireNotFinalized(const char* op) const;
+
+  // population state
+  std::vector<User> users_;
+  std::vector<Tag> tags_;
+  doc::DocumentStore docs_;
+  social::EdgeStore edges_;
+  rdf::TermDictionary terms_;
+  rdf::TripleStore rdf_;
+  Vocabulary vocabulary_;
+  std::unordered_map<social::EntityId, std::vector<social::TagId>>
+      tags_on_;
+  std::unordered_map<doc::NodeId, std::vector<doc::NodeId>> comments_on_;
+  std::vector<doc::NodeId> comment_target_;  // per DocId, kInvalidNode if none
+  std::vector<ExplicitSocialEdge> explicit_social_;
+
+  // derived state (Finalize)
+  bool finalized_ = false;
+  size_t rdf_social_edges_ = 0;
+  std::optional<social::EntityLayout> layout_;
+  doc::InvertedIndex index_;
+  social::TransitionMatrix matrix_;
+  social::ComponentIndex components_;
+  rdf::SaturationStats saturation_stats_;
+  std::unordered_map<KeywordId, std::vector<social::ComponentId>>
+      comps_with_keyword_;
+};
+
+}  // namespace s3::core
+
+#endif  // S3_CORE_S3_INSTANCE_H_

@@ -1,0 +1,346 @@
+#include "core/s3k.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <thread>
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "social/transition_matrix.h"
+
+namespace s3::core {
+
+namespace {
+
+using social::ComponentId;
+using social::Frontier;
+
+}  // namespace
+
+S3kSearcher::S3kSearcher(const S3Instance& instance, S3kOptions options)
+    : instance_(instance), options_(options) {}
+
+Result<std::vector<ResultEntry>> S3kSearcher::Search(const Query& query,
+                                                     SearchStats* stats) {
+  if (!instance_.finalized()) {
+    return Status::FailedPrecondition("instance not finalized");
+  }
+  if (query.seeker >= instance_.UserCount()) {
+    return Status::InvalidArgument("unknown seeker");
+  }
+  if (query.keywords.empty()) {
+    return Status::InvalidArgument("empty keyword set");
+  }
+  if (query.keywords.size() > 64) {
+    return Status::InvalidArgument("queries are limited to 64 keywords");
+  }
+
+  if (options_.threads > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.threads - 1);
+  }
+  auto parallel_for = [&](size_t n, const std::function<void(size_t)>& fn,
+                          size_t min_parallel) {
+    if (pool_ == nullptr || n < min_parallel) {
+      for (size_t i = 0; i < n; ++i) fn(i);
+    } else {
+      pool_->ParallelFor(n, fn);
+    }
+  };
+
+  WallTimer timer;
+  SearchStats local_stats;
+  SearchStats& st = stats ? *stats : local_stats;
+  st = SearchStats{};
+
+  const double gamma = options_.score.gamma;
+  const double c_gamma = CGamma(gamma);
+  const size_t n_keywords = query.keywords.size();
+
+  // ---- 1. Semantic extension of the query keywords.
+  QueryExtension ext(n_keywords);
+  for (size_t i = 0; i < n_keywords; ++i) {
+    if (options_.use_semantics) {
+      for (KeywordId k : instance_.ExtendKeyword(query.keywords[i])) {
+        ext[i].insert(k);
+      }
+    } else {
+      ext[i].insert(query.keywords[i]);
+    }
+    st.extension_keywords += ext[i].size();
+  }
+
+  // ---- 2. Passing components: every query keyword (or an extension
+  // member) occurs in the component.
+  const uint64_t full_mask =
+      n_keywords == 64 ? ~0ull : ((1ull << n_keywords) - 1);
+  std::unordered_map<ComponentId, uint64_t> comp_mask;
+  for (size_t i = 0; i < n_keywords; ++i) {
+    for (KeywordId k : ext[i]) {
+      for (ComponentId c : instance_.ComponentsWithKeyword(k)) {
+        comp_mask[c] |= (1ull << i);
+      }
+    }
+  }
+  std::vector<ComponentId> passing;
+  for (const auto& [c, mask] : comp_mask) {
+    if (mask == full_mask) passing.push_back(c);
+  }
+  std::sort(passing.begin(), passing.end());
+  st.components_passing = passing.size();
+
+  // ---- 3. Candidate construction per passing component (the paper's
+  // GetDocuments, run eagerly; exploration refines only prox).
+  std::vector<ComponentCandidates> per_comp(passing.size());
+  parallel_for(
+      passing.size(),
+      [&](size_t i) {
+        ConnectionBuilder builder(instance_, options_.score.eta);
+        per_comp[i] = builder.Build(passing[i], ext);
+      },
+      /*min_parallel=*/8);
+
+  struct Cand {
+    Candidate data;
+    uint32_t comp_slot;  // index into `passing`
+    double lower = 0.0;
+    double upper = 0.0;
+    bool alive = true;
+  };
+  std::vector<Cand> cands;
+  std::unordered_map<ComponentId, uint32_t> comp_slot_of;
+  std::vector<std::vector<uint32_t>> comp_cands(passing.size());
+  std::vector<double> comp_cap(passing.size(), 0.0);
+  for (size_t i = 0; i < passing.size(); ++i) {
+    comp_slot_of[passing[i]] = static_cast<uint32_t>(i);
+    comp_cap[i] = per_comp[i].max_cap;
+    for (Candidate& c : per_comp[i].candidates) {
+      comp_cands[i].push_back(static_cast<uint32_t>(cands.size()));
+      st.candidate_nodes.push_back(c.node);
+      cands.push_back(
+          Cand{std::move(c), static_cast<uint32_t>(i), 0.0, 0.0, true});
+    }
+  }
+  st.candidates_total = cands.size();
+
+  // Component slots ordered by cap (for the unexplored-docs threshold).
+  std::vector<uint32_t> slots_by_cap(passing.size());
+  for (size_t i = 0; i < passing.size(); ++i) slots_by_cap[i] = i;
+  std::sort(slots_by_cap.begin(), slots_by_cap.end(),
+            [&](uint32_t a, uint32_t b) { return comp_cap[a] > comp_cap[b]; });
+
+  // ---- 4. Exploration state.
+  const social::TransitionMatrix& matrix = instance_.matrix();
+  const uint32_t total_rows = instance_.layout().total();
+  std::vector<double> all_prox(total_rows, 0.0);
+  const uint32_t seeker_row = instance_.RowOfUser(query.seeker);
+  all_prox[seeker_row] = c_gamma;  // the empty path
+
+  Frontier frontier, next;
+  frontier.Init(total_rows);
+  next.Init(total_rows);
+  frontier.Set(seeker_row, 1.0);
+
+  std::vector<bool> discovered(passing.size(), false);
+  std::vector<uint32_t> active;  // candidate indices in discovered comps
+  size_t n_discovered = 0;
+  bool frontier_exhausted = false;
+
+  auto discover_row = [&](uint32_t row) {
+    ComponentId c = instance_.components().OfRow(row);
+    if (c == social::kInvalidComponent) return;
+    auto it = comp_slot_of.find(c);
+    if (it == comp_slot_of.end()) return;
+    uint32_t slot = it->second;
+    if (discovered[slot]) return;
+    discovered[slot] = true;
+    ++n_discovered;
+    for (uint32_t ci : comp_cands[slot]) active.push_back(ci);
+  };
+
+  auto greedy_topk =
+      [&](const std::vector<uint32_t>& order) -> std::vector<uint32_t> {
+    // First k alive candidates in `order` with no two vertical
+    // neighbors (Definition 3.2's answer constraint).
+    std::vector<uint32_t> picked;
+    for (uint32_t ci : order) {
+      if (!cands[ci].alive) continue;
+      bool conflict = false;
+      for (uint32_t pi : picked) {
+        if (instance_.docs().AreVerticalNeighbors(cands[ci].data.node,
+                                                  cands[pi].data.node)) {
+          conflict = true;
+          break;
+        }
+      }
+      if (!conflict) {
+        picked.push_back(ci);
+        if (picked.size() == options_.k) break;
+      }
+    }
+    return picked;
+  };
+
+  auto make_result = [&](const std::vector<uint32_t>& picked) {
+    std::vector<ResultEntry> out;
+    out.reserve(picked.size());
+    for (uint32_t ci : picked) {
+      out.push_back(
+          ResultEntry{cands[ci].data.node, cands[ci].lower, cands[ci].upper});
+    }
+    st.components_discovered = n_discovered;
+    st.elapsed_seconds = timer.ElapsedSeconds();
+    return out;
+  };
+
+  // ---- 5. Main loop.
+  std::vector<uint32_t> order;  // active candidates sorted by upper desc
+  for (size_t n = 1; n <= options_.max_iterations; ++n) {
+    st.iterations = n;
+
+    // ExploreStep: border := border · T ; allProx += Cγ · border / γⁿ.
+    if (!frontier_exhausted) {
+      if (pool_ != nullptr && frontier.nonzero.size() > total_rows / 8) {
+        matrix.PropagateParallel(frontier, next, *pool_);
+      } else {
+        matrix.Propagate(frontier, next);
+      }
+      std::swap(frontier, next);
+      if (frontier.nonzero.empty()) frontier_exhausted = true;
+      const double factor = c_gamma * std::pow(gamma, -static_cast<double>(n));
+      for (uint32_t row : frontier.nonzero) {
+        all_prox[row] += factor * frontier.values[row];
+        discover_row(row);
+      }
+    }
+
+    // Bounds. Once the frontier is exhausted there are no longer paths
+    // at all: allProx is exact and the tail is 0.
+    const double tail =
+        frontier_exhausted ? 0.0 : TailBound(gamma, n);
+    parallel_for(
+        active.size(),
+        [&](size_t i) {
+          Cand& c = cands[active[i]];
+          if (!c.alive) return;
+          c.lower = CandidateLowerBound(c.data, all_prox);
+          c.upper = CandidateUpperBound(c.data, all_prox, tail);
+        },
+        /*min_parallel=*/512);
+
+    // Threshold: best possible score of any undiscovered document.
+    double threshold = 0.0;
+    if (!frontier_exhausted) {
+      const double b = UndiscoveredBound(gamma, n);
+      for (uint32_t slot : slots_by_cap) {
+        if (!discovered[slot]) {
+          threshold = comp_cap[slot] *
+                      std::pow(std::min(1.0, b),
+                               static_cast<double>(n_keywords));
+          break;
+        }
+      }
+    }
+
+    // CleanCandidatesList: drop candidates dominated by a vertical
+    // neighbor (sound forever: lower bounds only grow, uppers only
+    // shrink). Only same-document candidates can be neighbors.
+    std::unordered_map<doc::DocId, std::vector<uint32_t>> by_doc;
+    for (uint32_t ci : active) {
+      if (cands[ci].alive) {
+        by_doc[instance_.docs().DocOf(cands[ci].data.node)].push_back(ci);
+      }
+    }
+    for (auto& [d, list] : by_doc) {
+      if (list.size() < 2) continue;
+      for (uint32_t a : list) {
+        for (uint32_t b : list) {
+          if (a == b || !cands[a].alive || !cands[b].alive) continue;
+          if (!instance_.docs().AreVerticalNeighbors(cands[a].data.node,
+                                                     cands[b].data.node)) {
+            continue;
+          }
+          // b dominates a?
+          bool dominates =
+              cands[b].lower > cands[a].upper + options_.epsilon ||
+              (std::abs(cands[b].lower - cands[a].upper) <=
+                   options_.epsilon &&
+               cands[b].lower >= cands[b].upper - options_.epsilon &&
+               cands[b].data.node < cands[a].data.node);
+          if (dominates) {
+            cands[a].alive = false;
+            ++st.candidates_cleaned;
+          }
+        }
+      }
+    }
+
+    // StopCondition (paper Algorithm 2).
+    order.clear();
+    for (uint32_t ci : active) {
+      if (cands[ci].alive) order.push_back(ci);
+    }
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      if (cands[a].upper != cands[b].upper) {
+        return cands[a].upper > cands[b].upper;
+      }
+      return cands[a].data.node < cands[b].data.node;
+    });
+
+    if (order.size() >= options_.k || frontier_exhausted ||
+        threshold <= options_.epsilon) {
+      // Check the first k alive candidates: pairwise non-neighbors?
+      size_t kk = std::min(options_.k, order.size());
+      bool neighbor_clash = false;
+      for (size_t i = 0; i < kk && !neighbor_clash; ++i) {
+        for (size_t j = i + 1; j < kk; ++j) {
+          if (instance_.docs().AreVerticalNeighbors(
+                  cands[order[i]].data.node, cands[order[j]].data.node)) {
+            neighbor_clash = true;
+            break;
+          }
+        }
+      }
+      if (!neighbor_clash) {
+        double min_topk_lower = std::numeric_limits<double>::infinity();
+        for (size_t i = 0; i < kk; ++i) {
+          min_topk_lower = std::min(min_topk_lower, cands[order[i]].lower);
+        }
+        double max_non_topk_upper =
+            order.size() > kk ? cands[order[kk]].upper : 0.0;
+        if (std::max(max_non_topk_upper, threshold) <=
+            min_topk_lower + options_.epsilon) {
+          // With fewer than k results we are only done once nothing
+          // undiscovered could still qualify (threshold ~ 0).
+          if (kk == options_.k || threshold <= options_.epsilon) {
+            st.converged = true;
+            return make_result(
+                std::vector<uint32_t>(order.begin(), order.begin() + kk));
+          }
+        }
+      }
+    }
+
+    if (frontier_exhausted && n_discovered == passing.size()) {
+      // Everything reachable is explored exactly; ties included.
+      st.converged = true;
+      return make_result(greedy_topk(order));
+    }
+    if (frontier_exhausted && threshold <= options_.epsilon) {
+      // Unreached components can only hold zero-score documents.
+      st.converged = true;
+      return make_result(greedy_topk(order));
+    }
+    if (options_.time_budget_seconds > 0.0 &&
+        timer.ElapsedSeconds() >= options_.time_budget_seconds) {
+      break;  // anytime termination on budget exhaustion
+    }
+  }
+
+  // Anytime termination (paper §4.1): return the best k known now.
+  return make_result(greedy_topk(order));
+}
+
+}  // namespace s3::core

@@ -1,0 +1,97 @@
+// S3k: top-k keyword search over an S3 instance (paper §4).
+//
+// The instance is explored outward from the seeker in increasing
+// social-path length. Iteration n computes the border frontier
+// δ_u · Tⁿ (the paper's borderProx optimization, §5.2), folds it into
+// the bounded social proximity allProx = prox≤n, and discovers the
+// components — and hence candidate documents — the frontier touches.
+// Each candidate carries a [lower, upper] score interval; a threshold
+// bounds the best score any still-undiscovered document could reach.
+// The search stops when the top-k candidate intervals separate from
+// everything else (Algorithm 2 of the paper), or anytime on budget
+// exhaustion, returning the current best k.
+#ifndef S3_CORE_S3K_H_
+#define S3_CORE_S3K_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/connections.h"
+#include "core/s3_instance.h"
+#include "core/score.h"
+
+namespace s3::core {
+
+// A keyword query (paper Definition 3.1): a seeker and a keyword set.
+struct Query {
+  social::UserId seeker = 0;
+  std::vector<KeywordId> keywords;
+};
+
+struct S3kOptions {
+  ScoreParams score;
+  // Result size k.
+  size_t k = 10;
+  // Enable keyword extension Ext(k) (disable for ablations; the paper's
+  // "semantic reachability" compares the two candidate sets).
+  bool use_semantics = true;
+  // Safety cap on exploration depth; the threshold-based stop condition
+  // normally fires much earlier (it always did in the paper's runs).
+  size_t max_iterations = 256;
+  // Slack for floating-point comparisons in the stop condition; also
+  // the de-facto tie-breaking precision (paper §4.2).
+  double epsilon = 1e-12;
+  // Worker threads for candidate building and bound refresh (§5.2
+  // reports a ~2x speed-up with 8 threads).
+  unsigned threads = 1;
+  // Anytime termination (paper §4.1): stop after this wall-clock
+  // budget and return the best k candidates by current upper bound.
+  // 0 disables the budget.
+  double time_budget_seconds = 0.0;
+};
+
+// One returned answer with its score interval at termination.
+struct ResultEntry {
+  doc::NodeId node = doc::kInvalidNode;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+struct SearchStats {
+  size_t iterations = 0;
+  size_t components_passing = 0;
+  size_t components_discovered = 0;
+  size_t candidates_total = 0;
+  size_t candidates_cleaned = 0;
+  size_t extension_keywords = 0;  // Σ |Ext(k)| over query keywords
+  bool converged = false;         // threshold-based stop reached
+  double elapsed_seconds = 0.0;
+  // All candidate documents of passing components (the candidate
+  // universe used by the Fig. 8 quality metrics).
+  std::vector<doc::NodeId> candidate_nodes;
+};
+
+class S3kSearcher {
+ public:
+  // `instance` must outlive the searcher and be finalized.
+  S3kSearcher(const S3Instance& instance, S3kOptions options);
+
+  // Runs the query; returns the top-k (possibly fewer if the instance
+  // has fewer matching neighbor-free documents).
+  Result<std::vector<ResultEntry>> Search(const Query& query,
+                                          SearchStats* stats = nullptr);
+
+  const S3kOptions& options() const { return options_; }
+
+ private:
+  const S3Instance& instance_;
+  S3kOptions options_;
+  // Persistent worker pool (created on first use when threads > 1).
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace s3::core
+
+#endif  // S3_CORE_S3K_H_

@@ -1,0 +1,40 @@
+#include "core/score.h"
+
+#include <algorithm>
+
+namespace s3::core {
+
+double CandidateScore(const Candidate& cand,
+                      const std::vector<double>& prox) {
+  double score = 1.0;
+  for (const auto& per_keyword : cand.sources) {
+    double sum = 0.0;
+    for (const auto& [src, w] : per_keyword) {
+      sum += static_cast<double>(w) * prox[src];
+    }
+    score *= sum;
+  }
+  return score;
+}
+
+double CandidateLowerBound(const Candidate& cand,
+                           const std::vector<double>& all_prox) {
+  return CandidateScore(cand, all_prox);
+}
+
+double CandidateUpperBound(const Candidate& cand,
+                           const std::vector<double>& all_prox,
+                           double tail) {
+  double score = 1.0;
+  for (const auto& per_keyword : cand.sources) {
+    double sum = 0.0;
+    for (const auto& [src, w] : per_keyword) {
+      sum += static_cast<double>(w) *
+             std::min(1.0, all_prox[src] + tail);
+    }
+    score *= sum;
+  }
+  return score;
+}
+
+}  // namespace s3::core

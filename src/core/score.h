@@ -1,0 +1,70 @@
+// The concrete S3k score (paper §3.4) and the feasibility-property
+// constants used by the search algorithm (§3.3).
+//
+// Social proximity:  prox(a,b) = Cγ · Σ_{p ∈ a⇝b} prox→(p) / γ^|p|,
+// with prox→(p) the product of normalized edge weights and
+// Cγ = (γ−1)/γ, so that prox ≤ 1.
+//
+// Document score:
+//   score(d,(u,φ)) = Π_{k∈φ} Σ_{(type,f,src) ∈ con(d,k)}
+//                       η^{|pos(d,f)|} · prox(u,src).
+//
+// Feasibility constants (proofs in DESIGN.md):
+//   * Uprox: prox≤n = prox≤(n−1) + Cγ · border_n / γ^n, where border_n
+//     is the mass of length-n paths — the matrix-power frontier.
+//   * Long-path attenuation: because the transition matrix is
+//     (sub)stochastic, Σ_{|p|=m} prox→(p) ≤ 1 and
+//     prox − prox≤n ≤ Cγ Σ_{m>n} γ^{−m} = γ^{−(n+1)} =: B>n.
+//   * Bscore(q,B) = Π_{k∈φ} W_k · B where W_k caps Σ η^pos — realized
+//     per candidate by `Candidate::cap` and per component by `max_cap`.
+#ifndef S3_CORE_SCORE_H_
+#define S3_CORE_SCORE_H_
+
+#include <cmath>
+#include <vector>
+
+#include "core/connections.h"
+
+namespace s3::core {
+
+// Tunable parameters of the concrete score.
+struct ScoreParams {
+  // Social damping γ > 1: larger γ discounts long paths more.
+  double gamma = 1.5;
+  // Structural damping η < 1 on |pos(d, f)|.
+  double eta = 0.5;
+};
+
+// Cγ = (γ−1)/γ.
+inline double CGamma(double gamma) { return (gamma - 1.0) / gamma; }
+
+// B>n: bound on prox − prox≤n (tail mass of paths longer than n).
+inline double TailBound(double gamma, size_t n) {
+  return std::pow(gamma, -static_cast<double>(n + 1));
+}
+
+// Bound on prox(u, src) for any source first reachable only through
+// paths of length ≥ n (sources of components undiscovered at step n).
+inline double UndiscoveredBound(double gamma, size_t n) {
+  return std::pow(gamma, -static_cast<double>(n));
+}
+
+// Score of `cand` with prox(u, src) read from `prox` exactly
+// (used when exploration has converged, and by the naive reference).
+double CandidateScore(const Candidate& cand,
+                      const std::vector<double>& prox);
+
+// Lower bound: uses the partial proximities accumulated so far
+// (allProx); sources not yet reached contribute 0.
+double CandidateLowerBound(const Candidate& cand,
+                           const std::vector<double>& all_prox);
+
+// Upper bound: every source may still gain at most `tail` proximity
+// from unexplored paths; prox is also globally capped by 1.
+double CandidateUpperBound(const Candidate& cand,
+                           const std::vector<double>& all_prox,
+                           double tail);
+
+}  // namespace s3::core
+
+#endif  // S3_CORE_SCORE_H_

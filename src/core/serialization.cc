@@ -1,0 +1,282 @@
+#include "core/serialization.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "common/str_util.h"
+#include "rdf/ntriples.h"
+#include "social/entity.h"
+
+namespace s3::core {
+
+namespace {
+
+// Token escaping: '%', ' ', '\n', '\t' -> %XX.
+std::string EscapeToken(std::string_view in) {
+  std::string out;
+  for (char c : in) {
+    if (c == '%' || c == ' ' || c == '\n' || c == '\t' || c == '\r') {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeToken(std::string_view in) {
+  std::string out;
+  for (size_t i = 0; i < in.size();) {
+    if (in[i] == '%') {
+      if (i + 2 >= in.size() + 1 || i + 2 > in.size()) {
+        return Status::InvalidArgument("truncated %-escape");
+      }
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      int hi = hex(in[i + 1]);
+      int lo = hex(in[i + 2]);
+      if (hi < 0 || lo < 0) {
+        return Status::InvalidArgument("bad %-escape");
+      }
+      out.push_back(static_cast<char>(hi * 16 + lo));
+      i += 3;
+    } else {
+      out.push_back(in[i++]);
+    }
+  }
+  return out;
+}
+
+// Poster of each document (via the S3:postedBy edges).
+std::vector<social::UserId> PosterOfDoc(const S3Instance& inst) {
+  std::vector<social::UserId> poster(inst.docs().DocumentCount(),
+                                     UINT32_MAX);
+  for (const social::NetEdge& e : inst.edges().edges()) {
+    if (e.label == social::EdgeLabel::kPostedBy &&
+        e.source.kind() == social::EntityKind::kFragment) {
+      doc::DocId d = inst.docs().DocOf(e.source.index());
+      if (inst.docs().RootNode(d) == e.source.index()) {
+        poster[d] = e.target.index();
+      }
+    }
+  }
+  return poster;
+}
+
+}  // namespace
+
+std::string SaveInstance(const S3Instance& inst) {
+  std::string out = "S3 v1\n";
+  char buf[64];
+
+  // Keyword table (ids are dense; order preserves them on reload).
+  for (KeywordId k = 0; k < inst.vocabulary().size(); ++k) {
+    out += "KW " + EscapeToken(inst.vocabulary().Spelling(k)) + "\n";
+  }
+  for (const User& u : inst.users()) {
+    out += "USER " + EscapeToken(u.uri) + "\n";
+  }
+  for (const auto& e : inst.explicit_social_edges()) {
+    std::snprintf(buf, sizeof(buf), "SOCIAL %u %u %.17g\n", e.from, e.to,
+                  e.weight);
+    out += buf;
+  }
+
+  std::vector<social::UserId> poster = PosterOfDoc(inst);
+  for (doc::DocId d = 0; d < inst.docs().DocumentCount(); ++d) {
+    const doc::Document& document = inst.docs().document(d);
+    std::snprintf(buf, sizeof(buf), " %u %zu\n", poster[d],
+                  document.NodeCount());
+    out += "DOC " + EscapeToken(inst.docs().Uri(inst.docs().RootNode(d))) +
+           buf;
+    for (uint32_t local = 0; local < document.NodeCount(); ++local) {
+      const doc::Node& node = document.node(local);
+      out += "N ";
+      if (node.parent == UINT32_MAX) {
+        out += "-";
+      } else {
+        out += std::to_string(node.parent);
+      }
+      out += " " + EscapeToken(node.name);
+      for (KeywordId k : node.keywords) {
+        out += " " + std::to_string(k);
+      }
+      out += "\n";
+    }
+  }
+  for (doc::DocId d = 0; d < inst.docs().DocumentCount(); ++d) {
+    doc::NodeId target = inst.CommentTarget(d);
+    if (target != doc::kInvalidNode) {
+      std::snprintf(buf, sizeof(buf), "COMMENT %u %u\n", d, target);
+      out += buf;
+    }
+  }
+  for (const Tag& t : inst.tags()) {
+    const char* kind =
+        t.subject.kind() == social::EntityKind::kFragment ? "TAGF" : "TAGT";
+    out += kind;
+    std::snprintf(buf, sizeof(buf), " %u %u ", t.author,
+                  t.subject.index());
+    out += buf;
+    if (t.keyword == kInvalidKeyword) {
+      out += "-";
+    } else {
+      out += std::to_string(t.keyword);
+    }
+    out += "\n";
+  }
+  out += "RDF\n";
+  out += rdf::SerializeNTriples(inst.terms(), inst.rdf_graph());
+  return out;
+}
+
+Result<std::unique_ptr<S3Instance>> LoadInstance(std::string_view text) {
+  auto inst = std::make_unique<S3Instance>();
+  size_t line_no = 0;
+  size_t start = 0;
+  bool saw_header = false;
+
+  // Document assembly state.
+  std::optional<doc::Document> pending_doc;
+  std::string pending_uri;
+  social::UserId pending_poster = 0;
+  size_t pending_nodes = 0;
+  size_t seen_nodes = 0;
+
+  auto flush_doc = [&]() -> Status {
+    if (!pending_doc.has_value()) return Status::OK();
+    if (seen_nodes != pending_nodes) {
+      return Status::InvalidArgument("DOC " + pending_uri +
+                                     ": node count mismatch");
+    }
+    Result<doc::DocId> added = inst->AddDocument(
+        std::move(*pending_doc), pending_uri, pending_poster);
+    pending_doc.reset();
+    if (!added.ok()) return added.status();
+    return Status::OK();
+  };
+
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    if (!saw_header) {
+      if (line != "S3 v1") {
+        return Status::InvalidArgument("bad header: expected 'S3 v1'");
+      }
+      saw_header = true;
+      continue;
+    }
+
+    if (line == "RDF") {
+      S3_RETURN_IF_ERROR(flush_doc());
+      // The rest of the input is N-Triples.
+      auto parsed = rdf::ParseNTriples(text.substr(start), inst->terms(),
+                                       inst->rdf_graph());
+      if (!parsed.ok()) return parsed.status();
+      return inst;
+    }
+
+    std::vector<std::string> tok = Split(line, " ");
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": " + why);
+    };
+    if (tok.empty()) continue;
+
+    if (tok[0] == "KW") {
+      if (tok.size() != 2) return fail("KW takes one token");
+      Result<std::string> sp = UnescapeToken(tok[1]);
+      if (!sp.ok()) return sp.status();
+      inst->InternKeyword(*sp);
+    } else if (tok[0] == "USER") {
+      if (tok.size() != 2) return fail("USER takes one token");
+      Result<std::string> uri = UnescapeToken(tok[1]);
+      if (!uri.ok()) return uri.status();
+      inst->AddUser(*uri);
+    } else if (tok[0] == "SOCIAL") {
+      if (tok.size() != 4) return fail("SOCIAL takes 3 tokens");
+      Status s = inst->AddSocialEdge(
+          static_cast<social::UserId>(std::stoul(tok[1])),
+          static_cast<social::UserId>(std::stoul(tok[2])),
+          std::stod(tok[3]));
+      if (!s.ok()) return s;
+    } else if (tok[0] == "DOC") {
+      S3_RETURN_IF_ERROR(flush_doc());
+      if (tok.size() != 4) return fail("DOC takes 3 tokens");
+      Result<std::string> uri = UnescapeToken(tok[1]);
+      if (!uri.ok()) return uri.status();
+      pending_uri = *uri;
+      pending_poster = static_cast<social::UserId>(std::stoul(tok[2]));
+      pending_nodes = std::stoul(tok[3]);
+      seen_nodes = 0;
+    } else if (tok[0] == "N") {
+      if (!pending_doc.has_value() && seen_nodes > 0) {
+        return fail("N outside DOC");
+      }
+      if (tok.size() < 3) return fail("N takes at least 2 tokens");
+      Result<std::string> name = UnescapeToken(tok[2]);
+      if (!name.ok()) return name.status();
+      uint32_t local;
+      if (tok[1] == "-") {
+        if (pending_doc.has_value()) return fail("second root node");
+        pending_doc.emplace(*name);
+        local = 0;
+      } else {
+        if (!pending_doc.has_value()) return fail("child before root");
+        local = pending_doc->AddChild(
+            static_cast<uint32_t>(std::stoul(tok[1])), *name);
+      }
+      std::vector<KeywordId> kws;
+      for (size_t i = 3; i < tok.size(); ++i) {
+        KeywordId k = static_cast<KeywordId>(std::stoul(tok[i]));
+        if (k >= inst->vocabulary().size()) {
+          return fail("keyword id out of range");
+        }
+        kws.push_back(k);
+      }
+      pending_doc->AddKeywords(local, kws);
+      ++seen_nodes;
+    } else if (tok[0] == "COMMENT") {
+      S3_RETURN_IF_ERROR(flush_doc());
+      if (tok.size() != 3) return fail("COMMENT takes 2 tokens");
+      Status s = inst->AddComment(
+          static_cast<doc::DocId>(std::stoul(tok[1])),
+          static_cast<doc::NodeId>(std::stoul(tok[2])));
+      if (!s.ok()) return s;
+    } else if (tok[0] == "TAGF" || tok[0] == "TAGT") {
+      S3_RETURN_IF_ERROR(flush_doc());
+      if (tok.size() != 4) return fail("TAG takes 3 tokens");
+      social::UserId author =
+          static_cast<social::UserId>(std::stoul(tok[1]));
+      uint32_t subject = static_cast<uint32_t>(std::stoul(tok[2]));
+      KeywordId kw = tok[3] == "-"
+                         ? kInvalidKeyword
+                         : static_cast<KeywordId>(std::stoul(tok[3]));
+      if (tok[0] == "TAGF") {
+        auto r = inst->AddTagOnFragment(author, subject, kw);
+        if (!r.ok()) return r.status();
+      } else {
+        auto r = inst->AddTagOnTag(author, subject, kw);
+        if (!r.ok()) return r.status();
+      }
+    } else {
+      return fail("unknown record '" + tok[0] + "'");
+    }
+  }
+  S3_RETURN_IF_ERROR(flush_doc());
+  return inst;
+}
+
+}  // namespace s3::core

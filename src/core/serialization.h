@@ -1,0 +1,43 @@
+// Text serialization of a full S3 instance (users, social edges,
+// documents with structure and keywords, comments, tags, and the RDF
+// graph as embedded weighted N-Triples).
+//
+// Line-oriented format, "%"-escaped tokens:
+//
+//   S3 v1
+//   KW <spelling>                     # keyword table, ids by order
+//   USER <uri>
+//   SOCIAL <from> <to> <weight>
+//   DOC <uri> <poster> <n_nodes>
+//   N <parent|-> <name> [kw-ids...]   # nodes of the last DOC, in order
+//   COMMENT <doc-id> <target-node>
+//   TAGF <author> <subject-node> <kw-id|->
+//   TAGT <author> <subject-tag> <kw-id|->
+//   RDF
+//   ...weighted N-Triples until EOF...
+//
+// Loading returns an *unfinalized* instance; call Finalize() before
+// querying. Round-tripping a populated instance preserves all query
+// behaviour (see serialization_test).
+#ifndef S3_CORE_SERIALIZATION_H_
+#define S3_CORE_SERIALIZATION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/s3_instance.h"
+
+namespace s3::core {
+
+// Serializes the population of `instance` (which may or may not be
+// finalized; derived structures are not saved — they are rebuilt by
+// Finalize after loading).
+std::string SaveInstance(const S3Instance& instance);
+
+// Parses a SaveInstance dump. The result is not finalized.
+Result<std::unique_ptr<S3Instance>> LoadInstance(std::string_view text);
+
+}  // namespace s3::core
+
+#endif  // S3_CORE_SERIALIZATION_H_

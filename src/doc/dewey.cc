@@ -1,0 +1,40 @@
+#include "doc/dewey.h"
+
+#include <cassert>
+
+namespace s3::doc {
+
+DeweyId DeweyId::Child(uint32_t pos) const {
+  std::vector<uint32_t> steps = steps_;
+  steps.push_back(pos);
+  return DeweyId(std::move(steps));
+}
+
+bool DeweyId::IsAncestorOrSelf(const DeweyId& other) const {
+  if (steps_.size() > other.steps_.size()) return false;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    if (steps_[i] != other.steps_[i]) return false;
+  }
+  return true;
+}
+
+bool DeweyId::Comparable(const DeweyId& other) const {
+  return IsAncestorOrSelf(other) || other.IsAncestorOrSelf(*this);
+}
+
+std::vector<uint32_t> DeweyId::RelativePath(const DeweyId& other) const {
+  assert(IsAncestorOrSelf(other));
+  return std::vector<uint32_t>(other.steps_.begin() + steps_.size(),
+                               other.steps_.end());
+}
+
+std::string DeweyId::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(steps_[i]);
+  }
+  return out;
+}
+
+}  // namespace s3::doc

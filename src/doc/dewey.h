@@ -1,0 +1,55 @@
+// Dewey-style node identifiers (ORDPATH-like, paper §2.3 "Fragment
+// position").
+//
+// pos(d, f) is the list of child indices leading from document (or
+// fragment) d's root down to fragment f; its length is the structural
+// distance used by the concrete score (η^|pos(d,f)|, Definition 3.5).
+#ifndef S3_DOC_DEWEY_H_
+#define S3_DOC_DEWEY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace s3::doc {
+
+// Path of 1-based child positions from the document root; the root
+// itself has an empty path.
+class DeweyId {
+ public:
+  DeweyId() = default;
+  explicit DeweyId(std::vector<uint32_t> steps) : steps_(std::move(steps)) {}
+
+  // Child of this node at 1-based position `pos`.
+  DeweyId Child(uint32_t pos) const;
+
+  // True if this id is an ancestor-or-self of `other` (prefix test).
+  bool IsAncestorOrSelf(const DeweyId& other) const;
+
+  // True if the two ids are comparable (one is an ancestor-or-self of
+  // the other), i.e. the nodes are vertical neighbors or equal.
+  bool Comparable(const DeweyId& other) const;
+
+  // pos(this, other): the suffix of `other` below this id.
+  // Precondition: IsAncestorOrSelf(other).
+  std::vector<uint32_t> RelativePath(const DeweyId& other) const;
+
+  size_t depth() const { return steps_.size(); }
+  const std::vector<uint32_t>& steps() const { return steps_; }
+
+  // Document-order comparison ("1.2" < "1.2.1" < "1.3").
+  bool operator<(const DeweyId& other) const { return steps_ < other.steps_; }
+  bool operator==(const DeweyId& other) const {
+    return steps_ == other.steps_;
+  }
+
+  // "" for the root, else dot-separated, e.g. "3.2".
+  std::string ToString() const;
+
+ private:
+  std::vector<uint32_t> steps_;
+};
+
+}  // namespace s3::doc
+
+#endif  // S3_DOC_DEWEY_H_

@@ -1,0 +1,72 @@
+// Tree-shaped documents (paper §2.3): unranked ordered trees whose
+// nodes have a name, a URI, and a bag of (stemmed) content keywords.
+// Every subtree rooted at a node is a *fragment*, identified by the
+// URI/id of its root node.
+#ifndef S3_DOC_DOCUMENT_H_
+#define S3_DOC_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "doc/dewey.h"
+#include "text/vocabulary.h"
+
+namespace s3::doc {
+
+// Global fragment/node identifier, assigned by the DocumentStore.
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+// Document identifier (index of the document in its store).
+using DocId = uint32_t;
+inline constexpr DocId kInvalidDoc = UINT32_MAX;
+
+// One node of a document tree.
+struct Node {
+  NodeId id = kInvalidNode;          // global id
+  uint32_t parent = UINT32_MAX;      // local index of parent, none for root
+  std::string name;                  // element name (S3:nodeName)
+  std::vector<KeywordId> keywords;   // content keywords (S3:contains)
+  std::vector<uint32_t> children;    // local indices, in document order
+  DeweyId dewey;
+};
+
+// An ordered tree under construction or completed. Node 0 is the root.
+class Document {
+ public:
+  // Creates a document with a root node named `root_name`.
+  explicit Document(std::string root_name);
+
+  // Appends a child under local node `parent_local`; returns the new
+  // node's local index. Precondition: parent_local < NodeCount().
+  uint32_t AddChild(uint32_t parent_local, std::string name);
+
+  // Appends content keywords to a node.
+  void AddKeywords(uint32_t local, const std::vector<KeywordId>& kws);
+
+  const Node& node(uint32_t local) const { return nodes_[local]; }
+  Node& node(uint32_t local) { return nodes_[local]; }
+  size_t NodeCount() const { return nodes_.size(); }
+
+  // Local index of the nearest ancestor of `local` (its parent), or
+  // UINT32_MAX for the root.
+  uint32_t Parent(uint32_t local) const { return nodes_[local].parent; }
+
+  // All strict ancestors of `local`, nearest first.
+  std::vector<uint32_t> Ancestors(uint32_t local) const;
+
+  // All descendants of `local` (strict), preorder.
+  std::vector<uint32_t> Descendants(uint32_t local) const;
+
+  // |pos(d_node, f_node)| where d_node is an ancestor-or-self of f_node:
+  // the structural distance used in the score.
+  size_t PosLength(uint32_t ancestor_local, uint32_t descendant_local) const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace s3::doc
+
+#endif  // S3_DOC_DOCUMENT_H_

@@ -1,0 +1,87 @@
+#include "doc/document_store.h"
+
+#include <cassert>
+
+namespace s3::doc {
+
+Result<DocId> DocumentStore::AddDocument(Document doc,
+                                         const std::string& root_uri) {
+  if (uri_index_.contains(root_uri)) {
+    return Status::AlreadyExists("document URI already registered: " +
+                                 root_uri);
+  }
+  DocId d = static_cast<DocId>(documents_.size());
+  std::vector<NodeId> globals(doc.NodeCount());
+  for (uint32_t local = 0; local < doc.NodeCount(); ++local) {
+    NodeId global = static_cast<NodeId>(node_refs_.size());
+    globals[local] = global;
+    doc.node(local).id = global;
+    node_refs_.push_back(NodeRef{d, local});
+    std::string uri = root_uri;
+    if (local != 0) {
+      uri.push_back('.');
+      uri += doc.node(local).dewey.ToString();
+    }
+    uri_index_.emplace(uri, global);
+    uris_.push_back(std::move(uri));
+  }
+  roots_.push_back(globals[0]);
+  doc_nodes_.push_back(std::move(globals));
+  documents_.push_back(std::move(doc));
+  return d;
+}
+
+Result<NodeId> DocumentStore::FindByUri(const std::string& uri) const {
+  auto it = uri_index_.find(uri);
+  if (it == uri_index_.end()) {
+    return Status::NotFound("no node with URI: " + uri);
+  }
+  return it->second;
+}
+
+std::vector<NodeId> DocumentStore::VerticalNeighbors(NodeId n) const {
+  const NodeRef ref = node_refs_[n];
+  const Document& d = documents_[ref.doc];
+  std::vector<NodeId> out;
+  for (uint32_t a : d.Ancestors(ref.local)) {
+    out.push_back(doc_nodes_[ref.doc][a]);
+  }
+  for (uint32_t desc : d.Descendants(ref.local)) {
+    out.push_back(doc_nodes_[ref.doc][desc]);
+  }
+  return out;
+}
+
+std::vector<NodeId> DocumentStore::NeighborhoodWithSelf(NodeId n) const {
+  std::vector<NodeId> out = VerticalNeighbors(n);
+  out.push_back(n);
+  return out;
+}
+
+bool DocumentStore::AreVerticalNeighbors(NodeId a, NodeId b) const {
+  if (a == b) return false;
+  const NodeRef ra = node_refs_[a];
+  const NodeRef rb = node_refs_[b];
+  if (ra.doc != rb.doc) return false;
+  const Document& d = documents_[ra.doc];
+  return d.node(ra.local).dewey.Comparable(d.node(rb.local).dewey);
+}
+
+size_t DocumentStore::PosLength(NodeId ancestor, NodeId descendant) const {
+  const NodeRef ra = node_refs_[ancestor];
+  const NodeRef rb = node_refs_[descendant];
+  assert(ra.doc == rb.doc);
+  return documents_[ra.doc].PosLength(ra.local, rb.local);
+}
+
+std::vector<NodeId> DocumentStore::Ancestors(NodeId n) const {
+  const NodeRef ref = node_refs_[n];
+  const Document& d = documents_[ref.doc];
+  std::vector<NodeId> out;
+  for (uint32_t a : d.Ancestors(ref.local)) {
+    out.push_back(doc_nodes_[ref.doc][a]);
+  }
+  return out;
+}
+
+}  // namespace s3::doc

@@ -1,0 +1,85 @@
+// Owns all documents of an instance and assigns global NodeIds.
+//
+// The store also answers the structural queries the engine needs:
+// vertical neighborhoods (paper Definition 2.2), root lookup, URI
+// resolution, and pos-length between comparable fragments.
+#ifndef S3_DOC_DOCUMENT_STORE_H_
+#define S3_DOC_DOCUMENT_STORE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "doc/document.h"
+
+namespace s3::doc {
+
+class DocumentStore {
+ public:
+  // Registers a finished document. Node URIs are derived from
+  // `root_uri`: the root gets `root_uri`, descendants get
+  // `root_uri + "." + dewey`. Returns the DocId.
+  // Fails with AlreadyExists if `root_uri` is taken.
+  Result<DocId> AddDocument(Document doc, const std::string& root_uri);
+
+  size_t DocumentCount() const { return documents_.size(); }
+  size_t NodeCount() const { return node_refs_.size(); }
+
+  const Document& document(DocId d) const { return documents_[d]; }
+
+  // Mapping between global node ids and (document, local index).
+  DocId DocOf(NodeId n) const { return node_refs_[n].doc; }
+  uint32_t LocalOf(NodeId n) const { return node_refs_[n].local; }
+  const Node& node(NodeId n) const {
+    return documents_[node_refs_[n].doc].node(node_refs_[n].local);
+  }
+
+  // Global id of document d's root node.
+  NodeId RootNode(DocId d) const { return roots_[d]; }
+
+  // Global node id for a local index within document d.
+  NodeId GlobalId(DocId d, uint32_t local) const {
+    return doc_nodes_[d][local];
+  }
+
+  // URI of a node / node lookup by URI.
+  const std::string& Uri(NodeId n) const { return uris_[n]; }
+  Result<NodeId> FindByUri(const std::string& uri) const;
+
+  // Vertical neighbors of `n` (paper Def. 2.2): strict ancestors and
+  // strict descendants; `n` itself is NOT included.
+  std::vector<NodeId> VerticalNeighbors(NodeId n) const;
+
+  // Vertical neighbors plus `n` itself (the "neigh(n)" closure used for
+  // path normalization, which includes edges leaving n).
+  std::vector<NodeId> NeighborhoodWithSelf(NodeId n) const;
+
+  // True if a and b are vertical neighbors (one a fragment of the
+  // other, a != b).
+  bool AreVerticalNeighbors(NodeId a, NodeId b) const;
+
+  // |pos(ancestor, descendant)|. Precondition: same document and
+  // ancestor-or-self relation holds.
+  size_t PosLength(NodeId ancestor, NodeId descendant) const;
+
+  // Strict ancestors of n, nearest first (global ids).
+  std::vector<NodeId> Ancestors(NodeId n) const;
+
+ private:
+  struct NodeRef {
+    DocId doc;
+    uint32_t local;
+  };
+
+  std::vector<Document> documents_;
+  std::vector<NodeId> roots_;                   // per document
+  std::vector<std::vector<NodeId>> doc_nodes_;  // per document: local->global
+  std::vector<NodeRef> node_refs_;              // global->(doc, local)
+  std::vector<std::string> uris_;               // global->URI
+  std::unordered_map<std::string, NodeId> uri_index_;
+};
+
+}  // namespace s3::doc
+
+#endif  // S3_DOC_DOCUMENT_STORE_H_

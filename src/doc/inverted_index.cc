@@ -1,0 +1,40 @@
+#include "doc/inverted_index.h"
+
+#include <algorithm>
+
+namespace s3::doc {
+
+namespace {
+const std::vector<NodeId> kEmptyPostings;
+}  // namespace
+
+void InvertedIndex::Rebuild(const DocumentStore& store) {
+  postings_.clear();
+  for (NodeId n = 0; n < store.NodeCount(); ++n) {
+    AddNode(n, store.node(n).keywords);
+  }
+}
+
+void InvertedIndex::AddNode(NodeId node,
+                            const std::vector<KeywordId>& keywords) {
+  for (KeywordId k : keywords) {
+    auto& list = postings_[k];
+    // Nodes are added in increasing id order; avoid duplicates from
+    // repeated keywords within one node.
+    if (list.empty() || list.back() != node) list.push_back(node);
+  }
+}
+
+const std::vector<NodeId>& InvertedIndex::Postings(KeywordId k) const {
+  auto it = postings_.find(k);
+  return it == postings_.end() ? kEmptyPostings : it->second;
+}
+
+std::vector<KeywordId> InvertedIndex::Keywords() const {
+  std::vector<KeywordId> out;
+  out.reserve(postings_.size());
+  for (const auto& [k, _] : postings_) out.push_back(k);
+  return out;
+}
+
+}  // namespace s3::doc

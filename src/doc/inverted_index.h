@@ -1,0 +1,44 @@
+// Inverted index: keyword -> postings of fragments that directly
+// contain it. This is the access path behind the `S3:contains`
+// connections of con(d, k) (paper §3.2) and behind workload
+// construction (keyword document frequencies).
+#ifndef S3_DOC_INVERTED_INDEX_H_
+#define S3_DOC_INVERTED_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "doc/document_store.h"
+#include "text/vocabulary.h"
+
+namespace s3::doc {
+
+class InvertedIndex {
+ public:
+  // Indexes every node of every document in `store`. May be called once
+  // after ingestion; Rebuild discards previous state.
+  void Rebuild(const DocumentStore& store);
+
+  // Adds a single node's keywords (for incremental ingestion).
+  void AddNode(NodeId node, const std::vector<KeywordId>& keywords);
+
+  // Fragments whose content directly contains `k` (no extension, no
+  // ancestor propagation), sorted, deduplicated.
+  const std::vector<NodeId>& Postings(KeywordId k) const;
+
+  // Number of fragments directly containing k.
+  size_t DocumentFrequency(KeywordId k) const { return Postings(k).size(); }
+
+  // Number of distinct indexed keywords.
+  size_t KeywordCount() const { return postings_.size(); }
+
+  // All indexed keyword ids (unsorted).
+  std::vector<KeywordId> Keywords() const;
+
+ private:
+  std::unordered_map<KeywordId, std::vector<NodeId>> postings_;
+};
+
+}  // namespace s3::doc
+
+#endif  // S3_DOC_INVERTED_INDEX_H_

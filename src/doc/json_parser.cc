@@ -1,0 +1,181 @@
+#include "doc/json_parser.h"
+
+#include <cctype>
+#include <string>
+
+namespace s3::doc {
+
+namespace {
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view in, const TextInterner& intern)
+      : in_(in), intern_(intern) {}
+
+  Result<Document> Parse(std::string root_name) {
+    Document doc(std::move(root_name));
+    Status s = ParseValue(doc, 0);
+    if (!s.ok()) return s;
+    SkipWhitespace();
+    if (pos_ != in_.size()) {
+      return Status::InvalidArgument("trailing JSON content");
+    }
+    return doc;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < in_.size() && in_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Document& doc, uint32_t local) {
+    SkipWhitespace();
+    if (pos_ >= in_.size()) {
+      return Status::InvalidArgument("unexpected end of JSON");
+    }
+    char c = in_[pos_];
+    if (c == '{') return ParseObject(doc, local);
+    if (c == '[') return ParseArray(doc, local);
+    if (c == '"') {
+      Result<std::string> s = ParseString();
+      if (!s.ok()) return s.status();
+      doc.AddKeywords(local, intern_(*s));
+      return Status::OK();
+    }
+    // Number / true / false / null: take the literal token.
+    std::string token;
+    while (pos_ < in_.size()) {
+      char t = in_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(t)) || t == '-' ||
+          t == '+' || t == '.' || t == 'e' || t == 'E') {
+        token.push_back(t);
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (token.empty()) {
+      return Status::InvalidArgument("unexpected character in JSON: " +
+                                     std::string(1, c));
+    }
+    if (token != "null") {
+      // Numbers and booleans intern through the text pipeline like any
+      // other content token.
+      doc.AddKeywords(local, intern_(token));
+    }
+    return Status::OK();
+  }
+
+  Status ParseObject(Document& doc, uint32_t local) {
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      Result<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Status::InvalidArgument("expected ':' after object key");
+      }
+      uint32_t child = doc.AddChild(local, *key);
+      S3_RETURN_IF_ERROR(ParseValue(doc, child));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Status::InvalidArgument("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(Document& doc, uint32_t local) {
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      uint32_t child = doc.AddChild(local, "item");
+      S3_RETURN_IF_ERROR(ParseValue(doc, child));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Status::InvalidArgument("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) {
+      return Status::InvalidArgument("expected '\"'");
+    }
+    std::string out;
+    while (pos_ < in_.size()) {
+      char c = in_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= in_.size()) break;
+        char esc = in_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > in_.size()) {
+              return Status::InvalidArgument("truncated \\u escape");
+            }
+            int code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = in_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= h - '0';
+              } else if (h >= 'a' && h <= 'f') {
+                code |= h - 'a' + 10;
+              } else if (h >= 'A' && h <= 'F') {
+                code |= h - 'A' + 10;
+              } else {
+                return Status::InvalidArgument("bad \\u escape");
+              }
+            }
+            if (code > 0 && code < 128) {
+              out.push_back(static_cast<char>(code));
+            }
+            break;
+          }
+          default:
+            return Status::InvalidArgument("unknown escape \\" +
+                                           std::string(1, esc));
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Status::InvalidArgument("unterminated string");
+  }
+
+  std::string_view in_;
+  const TextInterner& intern_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Document> ParseJson(std::string_view json, std::string root_name,
+                           const TextInterner& intern) {
+  return JsonParser(json, intern).Parse(std::move(root_name));
+}
+
+}  // namespace s3::doc

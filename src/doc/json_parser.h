@@ -1,0 +1,26 @@
+// Minimal JSON ingestion: parses a JSON value into a Document tree
+// (paper §2.3 allows JSON content next to XML).
+//
+// Mapping:
+//   * the top-level value becomes the root (named `root_name`);
+//   * object members become child nodes named after the key;
+//   * array elements become child nodes named "item";
+//   * strings run through the text interner; numbers / true / false /
+//     null are interned as their literal spelling.
+#ifndef S3_DOC_JSON_PARSER_H_
+#define S3_DOC_JSON_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "doc/document.h"
+#include "doc/xml_parser.h"  // TextInterner
+
+namespace s3::doc {
+
+Result<Document> ParseJson(std::string_view json, std::string root_name,
+                           const TextInterner& intern);
+
+}  // namespace s3::doc
+
+#endif  // S3_DOC_JSON_PARSER_H_

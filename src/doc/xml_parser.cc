@@ -1,0 +1,267 @@
+#include "doc/xml_parser.h"
+
+#include <cctype>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace s3::doc {
+
+namespace {
+
+// Cursor over the input with error reporting.
+class XmlCursor {
+ public:
+  explicit XmlCursor(std::string_view in) : in_(in) {}
+
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  char Get() { return in_[pos_++]; }
+
+  bool Consume(std::string_view token) {
+    if (in_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  // Reads an XML name (tag or attribute).
+  Result<std::string> ReadName() {
+    std::string name;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == ':' || c == '.') {
+        name.push_back(Get());
+      } else {
+        break;
+      }
+    }
+    if (name.empty()) {
+      return Status::InvalidArgument("expected XML name at offset " +
+                                     std::to_string(pos_));
+    }
+    return name;
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+// Decodes the predefined entities in a text run.
+Status DecodeEntities(std::string_view raw, std::string& out) {
+  out.clear();
+  for (size_t i = 0; i < raw.size();) {
+    if (raw[i] != '&') {
+      out.push_back(raw[i++]);
+      continue;
+    }
+    size_t semi = raw.find(';', i);
+    if (semi == std::string_view::npos) {
+      return Status::InvalidArgument("unterminated entity");
+    }
+    std::string_view entity = raw.substr(i + 1, semi - i - 1);
+    if (entity == "lt") {
+      out.push_back('<');
+    } else if (entity == "gt") {
+      out.push_back('>');
+    } else if (entity == "amp") {
+      out.push_back('&');
+    } else if (entity == "apos") {
+      out.push_back('\'');
+    } else if (entity == "quot") {
+      out.push_back('"');
+    } else if (!entity.empty() && entity[0] == '#') {
+      // Numeric references: keep ASCII, drop the rest.
+      int code = 0;
+      try {
+        code = entity[1] == 'x' || entity[1] == 'X'
+                   ? std::stoi(std::string(entity.substr(2)), nullptr, 16)
+                   : std::stoi(std::string(entity.substr(1)));
+      } catch (...) {
+        return Status::InvalidArgument("bad numeric entity");
+      }
+      if (code > 0 && code < 128) out.push_back(static_cast<char>(code));
+    } else {
+      return Status::InvalidArgument("unknown entity: &" +
+                                     std::string(entity) + ";");
+    }
+    i = semi + 1;
+  }
+  return Status::OK();
+}
+
+class XmlParser {
+ public:
+  XmlParser(std::string_view xml, const TextInterner& intern)
+      : cursor_(xml), intern_(intern) {}
+
+  Result<Document> Parse() {
+    SkipProlog();
+    cursor_.SkipWhitespace();
+    if (cursor_.AtEnd() || cursor_.Peek() != '<') {
+      return Status::InvalidArgument("expected root element");
+    }
+    std::optional<Document> doc;
+    Status s = ParseElement(&doc, UINT32_MAX);
+    if (!s.ok()) return s;
+    cursor_.SkipWhitespace();
+    SkipMisc();
+    cursor_.SkipWhitespace();
+    if (!cursor_.AtEnd()) {
+      return Status::InvalidArgument("trailing content after root element");
+    }
+    return std::move(*doc);
+  }
+
+ private:
+  void SkipProlog() {
+    cursor_.SkipWhitespace();
+    if (cursor_.Consume("<?xml")) {
+      while (!cursor_.AtEnd() && !cursor_.Consume("?>")) cursor_.Get();
+    }
+    SkipMisc();
+  }
+
+  void SkipMisc() {
+    while (true) {
+      cursor_.SkipWhitespace();
+      if (cursor_.Consume("<!--")) {
+        while (!cursor_.AtEnd() && !cursor_.Consume("-->")) cursor_.Get();
+      } else {
+        return;
+      }
+    }
+  }
+
+  // Parses one element. If parent_local == UINT32_MAX this is the root:
+  // `doc` is created with the element's tag. Otherwise appends to *doc.
+  Status ParseElement(std::optional<Document>* doc, uint32_t parent_local) {
+    if (!cursor_.Consume("<")) {
+      return Status::InvalidArgument("expected '<'");
+    }
+    Result<std::string> name = cursor_.ReadName();
+    if (!name.ok()) return name.status();
+
+    uint32_t local;
+    if (parent_local == UINT32_MAX) {
+      doc->emplace(*name);
+      local = 0;
+    } else {
+      local = (*doc)->AddChild(parent_local, *name);
+    }
+
+    // Attributes.
+    while (true) {
+      cursor_.SkipWhitespace();
+      if (cursor_.AtEnd()) {
+        return Status::InvalidArgument("unexpected end inside tag");
+      }
+      if (cursor_.Consume("/>")) return Status::OK();
+      if (cursor_.Consume(">")) break;
+      Result<std::string> attr = cursor_.ReadName();
+      if (!attr.ok()) return attr.status();
+      cursor_.SkipWhitespace();
+      if (!cursor_.Consume("=")) {
+        return Status::InvalidArgument("expected '=' after attribute " +
+                                       *attr);
+      }
+      cursor_.SkipWhitespace();
+      if (cursor_.AtEnd() ||
+          (cursor_.Peek() != '"' && cursor_.Peek() != '\'')) {
+        return Status::InvalidArgument("expected quoted attribute value");
+      }
+      char quote = cursor_.Get();
+      std::string raw;
+      while (!cursor_.AtEnd() && cursor_.Peek() != quote) {
+        raw.push_back(cursor_.Get());
+      }
+      if (cursor_.AtEnd()) {
+        return Status::InvalidArgument("unterminated attribute value");
+      }
+      cursor_.Get();  // closing quote
+      std::string decoded;
+      S3_RETURN_IF_ERROR(DecodeEntities(raw, decoded));
+      uint32_t attr_node = (*doc)->AddChild(local, "@" + *attr);
+      (*doc)->AddKeywords(attr_node, intern_(decoded));
+    }
+
+    // Content: text, children, CDATA, comments — until </name>.
+    std::string pending_text;
+    auto flush_text = [&]() -> Status {
+      std::string decoded;
+      S3_RETURN_IF_ERROR(DecodeEntities(pending_text, decoded));
+      (*doc)->AddKeywords(local, intern_(decoded));
+      pending_text.clear();
+      return Status::OK();
+    };
+
+    while (true) {
+      if (cursor_.AtEnd()) {
+        return Status::InvalidArgument("unterminated element <" + *name +
+                                       ">");
+      }
+      if (cursor_.Consume("<!--")) {
+        while (!cursor_.AtEnd() && !cursor_.Consume("-->")) cursor_.Get();
+        continue;
+      }
+      if (cursor_.Consume("<![CDATA[")) {
+        // CDATA is literal: re-escape the markup characters so the
+        // later entity decode restores them verbatim.
+        while (!cursor_.AtEnd() && !cursor_.Consume("]]>")) {
+          char raw = cursor_.Get();
+          if (raw == '&') {
+            pending_text += "&amp;";
+          } else if (raw == '<') {
+            pending_text += "&lt;";
+          } else if (raw == '>') {
+            pending_text += "&gt;";
+          } else {
+            pending_text.push_back(raw);
+          }
+        }
+        continue;
+      }
+      if (cursor_.Consume("</")) {
+        Result<std::string> close = cursor_.ReadName();
+        if (!close.ok()) return close.status();
+        if (*close != *name) {
+          return Status::InvalidArgument("mismatched close tag: <" + *name +
+                                         "> vs </" + *close + ">");
+        }
+        cursor_.SkipWhitespace();
+        if (!cursor_.Consume(">")) {
+          return Status::InvalidArgument("expected '>' in close tag");
+        }
+        return flush_text();
+      }
+      if (cursor_.Peek() == '<') {
+        S3_RETURN_IF_ERROR(flush_text());
+        S3_RETURN_IF_ERROR(ParseElement(doc, local));
+        continue;
+      }
+      pending_text.push_back(cursor_.Get());
+    }
+  }
+
+  XmlCursor cursor_;
+  const TextInterner& intern_;
+};
+
+}  // namespace
+
+Result<Document> ParseXml(std::string_view xml, const TextInterner& intern) {
+  return XmlParser(xml, intern).Parse();
+}
+
+}  // namespace s3::doc

@@ -1,0 +1,33 @@
+// Minimal XML ingestion: parses a well-formed XML snippet into a
+// Document tree (paper §2.3: "content is created under the form of
+// structured, tree-shaped documents, e.g., XML, JSON").
+//
+// Supported: nested elements, attributes (stored as child nodes named
+// "@attr"), text content, self-closing tags, comments, CDATA, and the
+// five predefined entities. Not supported (rejected): processing
+// instructions beyond the xml declaration, DTDs, namespaces semantics
+// (prefixes are kept verbatim in names).
+#ifndef S3_DOC_XML_PARSER_H_
+#define S3_DOC_XML_PARSER_H_
+
+#include <functional>
+#include <string_view>
+
+#include "common/status.h"
+#include "doc/document.h"
+
+namespace s3::doc {
+
+// Converts raw text into content keywords; typically
+// S3Instance::InternText wrapped in a lambda.
+using TextInterner =
+    std::function<std::vector<KeywordId>(std::string_view)>;
+
+// Parses `xml` into a Document whose root is the outermost element.
+// Each element becomes a node named after its tag; attribute values
+// and text content run through `intern`.
+Result<Document> ParseXml(std::string_view xml, const TextInterner& intern);
+
+}  // namespace s3::doc
+
+#endif  // S3_DOC_XML_PARSER_H_

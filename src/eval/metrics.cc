@@ -1,0 +1,91 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace s3::eval {
+
+namespace {
+
+std::unordered_map<uint64_t, size_t> RankOf(
+    const std::vector<uint64_t>& list) {
+  std::unordered_map<uint64_t, size_t> rank;
+  for (size_t i = 0; i < list.size(); ++i) {
+    rank.emplace(list[i], i + 1);  // 1-based
+  }
+  return rank;
+}
+
+}  // namespace
+
+double SpearmanFootRule(const std::vector<uint64_t>& a,
+                        const std::vector<uint64_t>& b) {
+  const size_t k = std::max(a.size(), b.size());
+  if (k == 0) return 0.0;
+  auto rank_a = RankOf(a);
+  auto rank_b = RankOf(b);
+
+  double common_term = 0.0;
+  size_t n_common = 0;
+  double missing_term = 0.0;
+  for (const auto& [item, ra] : rank_a) {
+    auto it = rank_b.find(item);
+    if (it != rank_b.end()) {
+      ++n_common;
+      common_term += std::abs(static_cast<double>(ra) -
+                              static_cast<double>(it->second));
+    } else {
+      missing_term += static_cast<double>(ra);
+    }
+  }
+  for (const auto& [item, rb] : rank_b) {
+    if (!rank_a.contains(item)) missing_term += static_cast<double>(rb);
+  }
+  return 2.0 * static_cast<double>(k - n_common) *
+             static_cast<double>(k + 1) +
+         common_term - missing_term;
+}
+
+double SpearmanFootRuleNormalized(const std::vector<uint64_t>& a,
+                                  const std::vector<uint64_t>& b) {
+  const size_t k = std::max(a.size(), b.size());
+  if (k == 0) return 0.0;
+  // Maximum distance is attained by disjoint lists:
+  //   2k(k+1) − Σ_{1..|a|} − Σ_{1..|b|}.
+  auto rank_sum = [](size_t n) {
+    return static_cast<double>(n) * static_cast<double>(n + 1) / 2.0;
+  };
+  double max_distance = 2.0 * static_cast<double>(k) *
+                            static_cast<double>(k + 1) -
+                        rank_sum(a.size()) - rank_sum(b.size());
+  if (max_distance <= 0.0) return 0.0;
+  return SpearmanFootRule(a, b) / max_distance;
+}
+
+double IntersectionRatio(const std::vector<uint64_t>& a,
+                         const std::vector<uint64_t>& b) {
+  const size_t k = std::max(a.size(), b.size());
+  if (k == 0) return 0.0;
+  std::unordered_set<uint64_t> sa(a.begin(), a.end());
+  size_t common = 0;
+  for (uint64_t x : b) {
+    if (sa.contains(x)) ++common;
+  }
+  return static_cast<double>(common) / static_cast<double>(k);
+}
+
+double UnreachableFraction(const std::vector<uint64_t>& universe,
+                           const std::vector<uint64_t>& reachable) {
+  if (universe.empty()) return 0.0;
+  std::unordered_set<uint64_t> r(reachable.begin(), reachable.end());
+  size_t missed = 0;
+  for (uint64_t x : universe) {
+    if (!r.contains(x)) ++missed;
+  }
+  return static_cast<double>(missed) / static_cast<double>(universe.size());
+}
+
+}  // namespace s3::eval

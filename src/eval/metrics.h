@@ -1,0 +1,36 @@
+// Result-quality metrics from the paper's §5.4 comparison (Figure 8).
+#ifndef S3_EVAL_METRICS_H_
+#define S3_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace s3::eval {
+
+// Spearman's foot rule distance between two top-k lists, as defined in
+// the paper:
+//   L1(τ1,τ2) = 2(k−|τ1∩τ2|)(k+1)
+//             + Σ_{i∈τ1∩τ2} |τ1(i)−τ2(i)|
+//             − Σ_{τ∈{τ1,τ2}} Σ_{i∈τ∖(τ1∩τ2)} τ(i)
+// with τ(i) the 1-based rank of item i. k is max(|τ1|,|τ2|).
+double SpearmanFootRule(const std::vector<uint64_t>& a,
+                        const std::vector<uint64_t>& b);
+
+// Foot rule normalized to [0, 1]: raw / (k·(k+1)), the distance between
+// disjoint lists. Returns 0 for two empty lists.
+double SpearmanFootRuleNormalized(const std::vector<uint64_t>& a,
+                                  const std::vector<uint64_t>& b);
+
+// |a ∩ b| / max(|a|, |b|); 0 when both are empty.
+double IntersectionRatio(const std::vector<uint64_t>& a,
+                         const std::vector<uint64_t>& b);
+
+// Fraction of `universe` not present in `reachable` (the paper's
+// "graph reachability": candidates of one engine the other cannot
+// reach). Returns 0 for an empty universe.
+double UnreachableFraction(const std::vector<uint64_t>& universe,
+                           const std::vector<uint64_t>& reachable);
+
+}  // namespace s3::eval
+
+#endif  // S3_EVAL_METRICS_H_

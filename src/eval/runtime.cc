@@ -1,0 +1,69 @@
+#include "eval/runtime.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace s3::eval {
+
+double RuntimeSeries::MedianSeconds() const {
+  return Quantile(seconds_, 0.5);
+}
+
+QuartileSummary RuntimeSeries::Quartiles() const {
+  return Summarize(seconds_);
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> width(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < width.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      os << cell << std::string(width[c] - cell.size() + 2, ' ');
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  std::vector<std::string> rule;
+  for (size_t c = 0; c < width.size(); ++c) {
+    rule.push_back(std::string(width[c], '-'));
+  }
+  emit(rule);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string FormatSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", s);
+  return buf;
+}
+
+std::string FormatMillis(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", s * 1e3);
+  return buf;
+}
+
+std::string FormatPercent(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", ratio * 100.0);
+  return buf;
+}
+
+}  // namespace s3::eval

@@ -1,0 +1,50 @@
+// Helpers for the benchmark harnesses: per-workload run-time
+// aggregation and fixed-width table rendering of the paper's figures.
+#ifndef S3_EVAL_RUNTIME_H_
+#define S3_EVAL_RUNTIME_H_
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace s3::eval {
+
+// Collects per-query wall-clock times for one (workload, system,
+// parameter) cell of a figure.
+class RuntimeSeries {
+ public:
+  void Add(double seconds) { seconds_.push_back(seconds); }
+  bool empty() const { return seconds_.empty(); }
+  double MedianSeconds() const;
+  QuartileSummary Quartiles() const;
+  const std::vector<double>& samples() const { return seconds_; }
+
+ private:
+  std::vector<double> seconds_;
+};
+
+// Simple fixed-width text table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats seconds with millisecond precision, e.g. "0.123".
+std::string FormatSeconds(double s);
+
+// Formats seconds as milliseconds with two decimals, e.g. "12.34".
+std::string FormatMillis(double s);
+
+// Formats a ratio as a percentage, e.g. "12.3%".
+std::string FormatPercent(double ratio);
+
+}  // namespace s3::eval
+
+#endif  // S3_EVAL_RUNTIME_H_

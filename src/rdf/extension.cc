@@ -1,0 +1,32 @@
+#include "rdf/extension.h"
+
+#include <unordered_set>
+
+#include "rdf/vocab.h"
+
+namespace s3::rdf {
+
+std::vector<TermId> Extension(const TermDictionary& dict,
+                              const TripleStore& store, TermId k) {
+  std::vector<TermId> out;
+  std::unordered_set<TermId> seen;
+  out.push_back(k);
+  seen.insert(k);
+
+  auto add_subjects = [&](const char* property_uri) {
+    TermId p = dict.Find(property_uri, TermKind::kUri);
+    if (p == kInvalidTerm) return;
+    for (uint32_t idx : store.WithPropertyObject(p, k)) {
+      const Triple& t = store.triples()[idx];
+      if (t.weight != 1.0) continue;
+      if (seen.insert(t.subject).second) out.push_back(t.subject);
+    }
+  };
+
+  add_subjects(vocab::kType);
+  add_subjects(vocab::kSubClassOf);
+  add_subjects(vocab::kSubPropertyOf);
+  return out;
+}
+
+}  // namespace s3::rdf

@@ -1,0 +1,27 @@
+// Keyword extension Ext(k) (paper Definition 2.1).
+//
+// Given a saturated S3 instance and a keyword k:
+//   * k ∈ Ext(k);
+//   * for any triple  b type k,  b ≺sc k  or  b ≺sp k,  b ∈ Ext(k).
+//
+// The extension never generalizes: every member is an instance or a
+// specialization of k, so query results stay precise while semantics is
+// injected into matching (paper requirement R3).
+#ifndef S3_RDF_EXTENSION_H_
+#define S3_RDF_EXTENSION_H_
+
+#include <vector>
+
+#include "rdf/term_dictionary.h"
+#include "rdf/triple_store.h"
+
+namespace s3::rdf {
+
+// Computes Ext(k) over the (already saturated) store. The result always
+// contains `k` itself, has no duplicates, and lists `k` first.
+std::vector<TermId> Extension(const TermDictionary& dict,
+                              const TripleStore& store, TermId k);
+
+}  // namespace s3::rdf
+
+#endif  // S3_RDF_EXTENSION_H_

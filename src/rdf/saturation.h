@@ -1,0 +1,47 @@
+// RDFS saturation (closure) of a weighted RDF graph.
+//
+// Implements the immediate-entailment rules of the RDF standard used by
+// the paper (§2.1):
+//   transitivity of ≺sc and ≺sp,
+//   property propagation    (s p o), (p ≺sp q)  ⊢  s q o
+//   domain typing           (s p o), (p ←d c)   ⊢  s type c
+//   range typing            (s p o), (p ↪r c)   ⊢  o type c
+//   class membership lift   (s type c), (c ≺sc d) ⊢ s type d
+//
+// Per the paper's weighted-graph semantics, a rule fires only when all
+// its premises have weight 1, and the conclusion has weight 1. The
+// closure is computed semi-naively (only newly derived triples are
+// joined against the schema in each round) and reaches the unique
+// finite fixpoint.
+#ifndef S3_RDF_SATURATION_H_
+#define S3_RDF_SATURATION_H_
+
+#include <cstddef>
+
+#include "rdf/term_dictionary.h"
+#include "rdf/triple_store.h"
+
+namespace s3::rdf {
+
+struct SaturationStats {
+  size_t input_triples = 0;
+  size_t derived_triples = 0;
+  size_t rounds = 0;
+};
+
+// Saturates `store` in place. `dict` provides (or interns) the RDF/RDFS
+// built-in property ids. Returns statistics about the run.
+SaturationStats Saturate(TermDictionary& dict, TripleStore& store);
+
+// Incremental maintenance (cf. the paper's citation of [Goasdoué,
+// Manolescu, Roatiș, EDBT'13]): adds `delta` to an ALREADY SATURATED
+// store and derives exactly the consequences of the new triples —
+// without re-joining the pre-existing ones. The result equals
+// re-saturating from scratch (see saturation tests).
+SaturationStats SaturateIncremental(TermDictionary& dict,
+                                    TripleStore& store,
+                                    const std::vector<Triple>& delta);
+
+}  // namespace s3::rdf
+
+#endif  // S3_RDF_SATURATION_H_

@@ -1,0 +1,44 @@
+#include "rdf/term_dictionary.h"
+
+#include <cassert>
+
+namespace s3::rdf {
+
+namespace {
+
+std::string MakeKey(std::string_view text, TermKind kind) {
+  std::string key;
+  key.reserve(text.size() + 1);
+  key.push_back(kind == TermKind::kUri ? 'u' : 'l');
+  key.append(text);
+  return key;
+}
+
+}  // namespace
+
+TermId TermDictionary::Intern(std::string_view text, TermKind kind) {
+  std::string key = MakeKey(text, kind);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(Entry{std::string(text), kind});
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+TermId TermDictionary::Find(std::string_view text, TermKind kind) const {
+  auto it = index_.find(MakeKey(text, kind));
+  return it == index_.end() ? kInvalidTerm : it->second;
+}
+
+const std::string& TermDictionary::Text(TermId id) const {
+  assert(id < terms_.size());
+  return terms_[id].text;
+}
+
+TermKind TermDictionary::Kind(TermId id) const {
+  assert(id < terms_.size());
+  return terms_[id].kind;
+}
+
+}  // namespace s3::rdf

@@ -1,0 +1,61 @@
+// Dictionary encoding of RDF terms (URIs and literals).
+//
+// Every term that appears as subject/property/object of a triple is
+// interned to a dense TermId; the engine manipulates ids only and
+// materializes strings back at the API boundary.
+#ifndef S3_RDF_TERM_DICTIONARY_H_
+#define S3_RDF_TERM_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace s3::rdf {
+
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTerm = UINT32_MAX;
+
+// Kind of an interned term. The RDF standard requires subjects and
+// properties to be URIs; objects may be URIs or literals.
+enum class TermKind : uint8_t { kUri = 0, kLiteral = 1 };
+
+// Append-only interner for RDF terms.
+class TermDictionary {
+ public:
+  // Interns `text` with the given kind. Re-interning the same text with
+  // the same kind returns the existing id; URIs and literals with equal
+  // spelling are distinct terms.
+  TermId Intern(std::string_view text, TermKind kind);
+
+  TermId InternUri(std::string_view uri) {
+    return Intern(uri, TermKind::kUri);
+  }
+  TermId InternLiteral(std::string_view lit) {
+    return Intern(lit, TermKind::kLiteral);
+  }
+
+  // Returns the id or kInvalidTerm if absent.
+  TermId Find(std::string_view text, TermKind kind) const;
+
+  // Precondition: id < size().
+  const std::string& Text(TermId id) const;
+  TermKind Kind(TermId id) const;
+
+  size_t size() const { return terms_.size(); }
+
+ private:
+  struct Entry {
+    std::string text;
+    TermKind kind;
+  };
+
+  // Key is kind-prefixed text ('u' / 'l' + spelling).
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<Entry> terms_;
+};
+
+}  // namespace s3::rdf
+
+#endif  // S3_RDF_TERM_DICTIONARY_H_

@@ -1,0 +1,95 @@
+#include "rdf/triple_store.h"
+
+namespace s3::rdf {
+
+namespace {
+const std::vector<uint32_t> kEmptyIndexList;
+}  // namespace
+
+bool TripleStore::Add(TermId s, TermId p, TermId o, double weight) {
+  Triple t{s, p, o, weight};
+  auto it = key_index_.find(t);
+  if (it != key_index_.end()) {
+    triples_[it->second].weight = weight;
+    return false;
+  }
+  uint32_t idx = static_cast<uint32_t>(triples_.size());
+  triples_.push_back(t);
+  key_index_.emplace(t, idx);
+  by_property_[p].push_back(idx);
+  by_property_subject_[Pair(p, s)].push_back(idx);
+  by_property_object_[Pair(p, o)].push_back(idx);
+  return true;
+}
+
+bool TripleStore::Contains(TermId s, TermId p, TermId o) const {
+  return key_index_.contains(Triple{s, p, o, 0.0});
+}
+
+double TripleStore::Weight(TermId s, TermId p, TermId o) const {
+  auto it = key_index_.find(Triple{s, p, o, 0.0});
+  return it == key_index_.end() ? 0.0 : triples_[it->second].weight;
+}
+
+std::vector<TermId> TripleStore::Objects(TermId s, TermId p) const {
+  std::vector<TermId> out;
+  for (uint32_t idx : WithPropertySubject(p, s)) {
+    out.push_back(triples_[idx].object);
+  }
+  return out;
+}
+
+std::vector<TermId> TripleStore::Subjects(TermId p, TermId o) const {
+  std::vector<TermId> out;
+  for (uint32_t idx : WithPropertyObject(p, o)) {
+    out.push_back(triples_[idx].subject);
+  }
+  return out;
+}
+
+std::vector<Triple> TripleStore::Match(TermId s, TermId p, TermId o) const {
+  std::vector<Triple> out;
+  auto matches = [&](const Triple& t) {
+    return (s == kAnyTerm || t.subject == s) &&
+           (p == kAnyTerm || t.property == p) &&
+           (o == kAnyTerm || t.object == o);
+  };
+  // Pick the most selective available index.
+  if (p != kAnyTerm && s != kAnyTerm) {
+    for (uint32_t idx : WithPropertySubject(p, s)) {
+      if (matches(triples_[idx])) out.push_back(triples_[idx]);
+    }
+  } else if (p != kAnyTerm && o != kAnyTerm) {
+    for (uint32_t idx : WithPropertyObject(p, o)) {
+      if (matches(triples_[idx])) out.push_back(triples_[idx]);
+    }
+  } else if (p != kAnyTerm) {
+    for (uint32_t idx : WithProperty(p)) {
+      if (matches(triples_[idx])) out.push_back(triples_[idx]);
+    }
+  } else {
+    for (const Triple& t : triples_) {
+      if (matches(t)) out.push_back(t);
+    }
+  }
+  return out;
+}
+
+const std::vector<uint32_t>& TripleStore::WithProperty(TermId p) const {
+  auto it = by_property_.find(p);
+  return it == by_property_.end() ? kEmptyIndexList : it->second;
+}
+
+const std::vector<uint32_t>& TripleStore::WithPropertySubject(
+    TermId p, TermId s) const {
+  auto it = by_property_subject_.find(Pair(p, s));
+  return it == by_property_subject_.end() ? kEmptyIndexList : it->second;
+}
+
+const std::vector<uint32_t>& TripleStore::WithPropertyObject(
+    TermId p, TermId o) const {
+  auto it = by_property_object_.find(Pair(p, o));
+  return it == by_property_object_.end() ? kEmptyIndexList : it->second;
+}
+
+}  // namespace s3::rdf

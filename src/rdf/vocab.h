@@ -1,0 +1,39 @@
+// Well-known URIs: RDF/RDFS built-ins and the S3 namespace
+// (paper Table 2).
+#ifndef S3_RDF_VOCAB_H_
+#define S3_RDF_VOCAB_H_
+
+namespace s3::rdf::vocab {
+
+// RDF / RDFS built-ins.
+inline constexpr char kType[] = "rdf:type";
+inline constexpr char kSubClassOf[] = "rdfs:subClassOf";        // ≺sc
+inline constexpr char kSubPropertyOf[] = "rdfs:subPropertyOf";  // ≺sp
+inline constexpr char kDomain[] = "rdfs:domain";                // ←d
+inline constexpr char kRange[] = "rdfs:range";                  // ↪r
+
+// S3 classes (paper Table 2).
+inline constexpr char kUserClass[] = "S3:user";
+inline constexpr char kDocClass[] = "S3:doc";
+inline constexpr char kRelatedTo[] = "S3:relatedTo";
+
+// S3 properties.
+inline constexpr char kPostedBy[] = "S3:postedBy";
+inline constexpr char kCommentsOn[] = "S3:commentsOn";
+inline constexpr char kPartOf[] = "S3:partOf";
+inline constexpr char kContains[] = "S3:contains";
+inline constexpr char kNodeName[] = "S3:nodeName";
+inline constexpr char kHasSubject[] = "S3:hasSubject";
+inline constexpr char kHasKeyword[] = "S3:hasKeyword";
+inline constexpr char kHasAuthor[] = "S3:hasAuthor";
+inline constexpr char kSocial[] = "S3:social";
+
+// Inverse properties (paper §2.4 "Inverse properties"): s p̄ o iff o p s.
+inline constexpr char kPostedByInv[] = "S3:postedBy-";
+inline constexpr char kCommentsOnInv[] = "S3:commentsOn-";
+inline constexpr char kHasSubjectInv[] = "S3:hasSubject-";
+inline constexpr char kHasAuthorInv[] = "S3:hasAuthor-";
+
+}  // namespace s3::rdf::vocab
+
+#endif  // S3_RDF_VOCAB_H_

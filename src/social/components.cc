@@ -1,0 +1,87 @@
+#include "social/components.h"
+
+#include <numeric>
+
+namespace s3::social {
+
+namespace {
+
+// Plain union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+};
+
+}  // namespace
+
+void ComponentIndex::Build(const EntityLayout& layout,
+                           const EdgeStore& edges,
+                           const doc::DocumentStore& docs) {
+  layout_ = &layout;
+  const uint32_t total = layout.total();
+  UnionFind uf(total);
+
+  // S3:partOf: all nodes of one document tree are one cluster.
+  for (doc::DocId d = 0; d < docs.DocumentCount(); ++d) {
+    const doc::Document& document = docs.document(d);
+    uint32_t root_row = layout.Row(EntityId::Fragment(docs.RootNode(d)));
+    for (uint32_t local = 1; local < document.NodeCount(); ++local) {
+      uf.Union(root_row, layout.Row(EntityId::Fragment(
+                             docs.GlobalId(d, local))));
+    }
+  }
+
+  // commentsOn / hasSubject (inverses connect the same pairs).
+  for (const NetEdge& e : edges.edges()) {
+    if (e.label == EdgeLabel::kCommentsOn ||
+        e.label == EdgeLabel::kHasSubject) {
+      uf.Union(layout.Row(e.source), layout.Row(e.target));
+    }
+  }
+
+  comp_of_row_.assign(total, kInvalidComponent);
+  members_.clear();
+  std::vector<ComponentId> root_to_comp(total, kInvalidComponent);
+  for (uint32_t row = 0; row < total; ++row) {
+    EntityKind kind = layout.Entity(row).kind();
+    if (kind == EntityKind::kUser) continue;
+    uint32_t root = uf.Find(row);
+    ComponentId c = root_to_comp[root];
+    if (c == kInvalidComponent) {
+      c = static_cast<ComponentId>(members_.size());
+      root_to_comp[root] = c;
+      members_.emplace_back();
+    }
+    comp_of_row_[row] = c;
+    members_[c].push_back(row);
+  }
+}
+
+ComponentId ComponentIndex::Of(EntityId e) const {
+  return comp_of_row_[layout_->Row(e)];
+}
+
+}  // namespace s3::social

@@ -1,0 +1,47 @@
+// Connected components of documents and tags under
+// S3:partOf ∪ S3:commentsOn± ∪ S3:hasSubject± edges (paper §5.2).
+//
+// Connections (con tuples, §3.2) propagate only along these edges, so a
+// fragment can match a query keyword iff its component matches it. The
+// component partition is the pruning structure behind GetDocuments.
+#ifndef S3_SOCIAL_COMPONENTS_H_
+#define S3_SOCIAL_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "doc/document_store.h"
+#include "social/edge_store.h"
+#include "social/entity.h"
+
+namespace s3::social {
+
+using ComponentId = uint32_t;
+inline constexpr ComponentId kInvalidComponent = UINT32_MAX;
+
+class ComponentIndex {
+ public:
+  // Computes the partition. Only fragment and tag entities belong to
+  // components; users map to kInvalidComponent.
+  void Build(const EntityLayout& layout, const EdgeStore& edges,
+             const doc::DocumentStore& docs);
+
+  ComponentId OfRow(uint32_t row) const { return comp_of_row_[row]; }
+  ComponentId Of(EntityId e) const;
+
+  // Members (entity rows) of one component.
+  const std::vector<uint32_t>& Members(ComponentId c) const {
+    return members_[c];
+  }
+
+  size_t ComponentCount() const { return members_.size(); }
+
+ private:
+  const EntityLayout* layout_ = nullptr;
+  std::vector<ComponentId> comp_of_row_;
+  std::vector<std::vector<uint32_t>> members_;
+};
+
+}  // namespace s3::social
+
+#endif  // S3_SOCIAL_COMPONENTS_H_

@@ -1,0 +1,92 @@
+#include "social/edge_store.h"
+
+#include <cassert>
+
+namespace s3::social {
+
+namespace {
+const std::vector<uint32_t> kNoEdges;
+}  // namespace
+
+const char* EdgeLabelName(EdgeLabel label) {
+  switch (label) {
+    case EdgeLabel::kSocial:
+      return "S3:social";
+    case EdgeLabel::kPostedBy:
+      return "S3:postedBy";
+    case EdgeLabel::kPostedByInv:
+      return "S3:postedBy-";
+    case EdgeLabel::kCommentsOn:
+      return "S3:commentsOn";
+    case EdgeLabel::kCommentsOnInv:
+      return "S3:commentsOn-";
+    case EdgeLabel::kHasSubject:
+      return "S3:hasSubject";
+    case EdgeLabel::kHasSubjectInv:
+      return "S3:hasSubject-";
+    case EdgeLabel::kHasAuthor:
+      return "S3:hasAuthor";
+    case EdgeLabel::kHasAuthorInv:
+      return "S3:hasAuthor-";
+  }
+  return "?";
+}
+
+EdgeLabel InverseLabel(EdgeLabel label) {
+  switch (label) {
+    case EdgeLabel::kSocial:
+      return EdgeLabel::kSocial;
+    case EdgeLabel::kPostedBy:
+      return EdgeLabel::kPostedByInv;
+    case EdgeLabel::kPostedByInv:
+      return EdgeLabel::kPostedBy;
+    case EdgeLabel::kCommentsOn:
+      return EdgeLabel::kCommentsOnInv;
+    case EdgeLabel::kCommentsOnInv:
+      return EdgeLabel::kCommentsOn;
+    case EdgeLabel::kHasSubject:
+      return EdgeLabel::kHasSubjectInv;
+    case EdgeLabel::kHasSubjectInv:
+      return EdgeLabel::kHasSubject;
+    case EdgeLabel::kHasAuthor:
+      return EdgeLabel::kHasAuthorInv;
+    case EdgeLabel::kHasAuthorInv:
+      return EdgeLabel::kHasAuthor;
+  }
+  return label;
+}
+
+void EdgeStore::Add(EntityId source, EntityId target, EdgeLabel label,
+                    double weight) {
+  assert(weight > 0.0 && weight <= 1.0);
+  uint32_t idx = static_cast<uint32_t>(edges_.size());
+  edges_.push_back(NetEdge{source, target, label, weight});
+  out_[source].push_back(idx);
+  out_weight_[source] += weight;
+}
+
+void EdgeStore::AddWithInverse(EntityId source, EntityId target,
+                               EdgeLabel label, double weight) {
+  Add(source, target, label, weight);
+  Add(target, source, InverseLabel(label), weight);
+}
+
+const std::vector<uint32_t>& EdgeStore::OutEdges(EntityId e) const {
+  auto it = out_.find(e);
+  return it == out_.end() ? kNoEdges : it->second;
+}
+
+double EdgeStore::OutWeight(EntityId e) const {
+  auto it = out_weight_.find(e);
+  return it == out_weight_.end() ? 0.0 : it->second;
+}
+
+size_t EdgeStore::CountLabel(EdgeLabel label) const {
+  size_t n = 0;
+  for (const NetEdge& e : edges_) {
+    if (e.label == label) ++n;
+  }
+  return n;
+}
+
+}  // namespace s3::social

@@ -1,0 +1,78 @@
+// Network edges of an S3 instance (paper §2.5): the weighted edges
+// "encapsulating quantitative information on the links between users,
+// documents and tags" — every S3-namespace property except S3:partOf,
+// restricted to endpoints in Ω ∪ D ∪ T.
+//
+// Inverse properties (S3:postedBy‾ etc.) are stored as first-class
+// edges, mirroring the paper's syntactic-sugar definition
+// s p̄ o ∈ I iff o p s ∈ I.
+#ifndef S3_SOCIAL_EDGE_STORE_H_
+#define S3_SOCIAL_EDGE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "social/entity.h"
+
+namespace s3::social {
+
+// Label of a network edge. Inverses are separate labels so that a path
+// can be reported exactly as traversed.
+enum class EdgeLabel : uint8_t {
+  kSocial = 0,      // user  -> user
+  kPostedBy,        // doc   -> user
+  kPostedByInv,     // user  -> doc
+  kCommentsOn,      // doc   -> doc
+  kCommentsOnInv,   // doc   -> doc
+  kHasSubject,      // tag   -> doc or tag
+  kHasSubjectInv,   // doc/tag -> tag
+  kHasAuthor,       // tag   -> user
+  kHasAuthorInv,    // user  -> tag
+};
+
+const char* EdgeLabelName(EdgeLabel label);
+
+// Returns the inverse label (kSocial is its own inverse only in the
+// sense that no inverse is materialized for it; see AddSocial).
+EdgeLabel InverseLabel(EdgeLabel label);
+
+struct NetEdge {
+  EntityId source;
+  EntityId target;
+  EdgeLabel label;
+  double weight;
+};
+
+// Append-only store of network edges with per-entity outgoing
+// adjacency.
+class EdgeStore {
+ public:
+  // Adds a directed edge. Weight must be in (0, 1].
+  void Add(EntityId source, EntityId target, EdgeLabel label,
+           double weight = 1.0);
+
+  // Adds an edge and its inverse twin (both weight `weight`).
+  void AddWithInverse(EntityId source, EntityId target, EdgeLabel label,
+                      double weight = 1.0);
+
+  // Outgoing edges of `e` (indices into edges()).
+  const std::vector<uint32_t>& OutEdges(EntityId e) const;
+
+  // Sum of weights of edges leaving `e` alone (not its neighborhood).
+  double OutWeight(EntityId e) const;
+
+  const std::vector<NetEdge>& edges() const { return edges_; }
+  size_t size() const { return edges_.size(); }
+
+  // Number of edges with a given label.
+  size_t CountLabel(EdgeLabel label) const;
+
+ private:
+  std::vector<NetEdge> edges_;
+  std::unordered_map<EntityId, std::vector<uint32_t>> out_;
+  std::unordered_map<EntityId, double> out_weight_;
+};
+
+}  // namespace s3::social
+
+#endif  // S3_SOCIAL_EDGE_STORE_H_

@@ -1,0 +1,22 @@
+#include "social/entity.h"
+
+namespace s3::social {
+
+std::string EntityId::ToString() const {
+  if (!valid()) return "entity(invalid)";
+  const char* kind_name = "?";
+  switch (kind()) {
+    case EntityKind::kUser:
+      kind_name = "user";
+      break;
+    case EntityKind::kFragment:
+      kind_name = "frag";
+      break;
+    case EntityKind::kTag:
+      kind_name = "tag";
+      break;
+  }
+  return std::string(kind_name) + ":" + std::to_string(index());
+}
+
+}  // namespace s3::social

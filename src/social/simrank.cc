@@ -1,0 +1,49 @@
+#include "social/simrank.h"
+
+namespace s3::social {
+
+void SimRank::Compute(const EdgeStore& edges, uint32_t n_users,
+                      const SimRankOptions& options) {
+  n_ = n_users;
+  const size_t total = static_cast<size_t>(n_) * n_;
+  scores_.assign(total, 0.0);
+  if (n_ == 0) return;
+
+  // In-neighbor lists over social edges.
+  std::vector<std::vector<uint32_t>> in(n_users);
+  for (const NetEdge& e : edges.edges()) {
+    if (e.label != EdgeLabel::kSocial) continue;
+    if (e.source.index() < n_users && e.target.index() < n_users) {
+      in[e.target.index()].push_back(e.source.index());
+    }
+  }
+
+  std::vector<double> prev(total, 0.0);
+  for (uint32_t a = 0; a < n_; ++a) {
+    prev[static_cast<size_t>(a) * n_ + a] = 1.0;
+  }
+
+  for (size_t iter = 0; iter < options.iterations; ++iter) {
+    for (uint32_t a = 0; a < n_; ++a) {
+      scores_[static_cast<size_t>(a) * n_ + a] = 1.0;
+      for (uint32_t b = a + 1; b < n_; ++b) {
+        double sum = 0.0;
+        if (!in[a].empty() && !in[b].empty()) {
+          for (uint32_t i : in[a]) {
+            const double* row = prev.data() + static_cast<size_t>(i) * n_;
+            for (uint32_t j : in[b]) {
+              sum += row[j];
+            }
+          }
+          sum *= options.decay /
+                 (static_cast<double>(in[a].size()) * in[b].size());
+        }
+        scores_[static_cast<size_t>(a) * n_ + b] = sum;
+        scores_[static_cast<size_t>(b) * n_ + a] = sum;
+      }
+    }
+    prev = scores_;
+  }
+}
+
+}  // namespace s3::social

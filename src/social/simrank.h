@@ -1,0 +1,45 @@
+// SimRank structural-context similarity [Jeh & Widom, KDD'02] over the
+// user graph — the alternative social proximity the paper names in
+// §3.4 ("other common distances may be used, e.g., SimRank").
+//
+// s(a,a) = 1;  s(a,b) = C / (|I(a)||I(b)|) · Σ_{i∈I(a), j∈I(b)} s(i,j)
+// with I(x) the in-neighbors of x. Computed by fixpoint iteration over
+// the dense pair matrix — O(n²·d²) per iteration, so intended for
+// moderate user counts (ablations, re-ranking studies), not the full
+// bench instances.
+#ifndef S3_SOCIAL_SIMRANK_H_
+#define S3_SOCIAL_SIMRANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "social/edge_store.h"
+
+namespace s3::social {
+
+struct SimRankOptions {
+  double decay = 0.8;      // the C constant
+  size_t iterations = 6;   // k iterations bound the error by C^k
+};
+
+// Dense symmetric similarity matrix over users; entry [a*n + b].
+class SimRank {
+ public:
+  // Computes SimRank over the kSocial edges of `edges` for users
+  // [0, n_users).
+  void Compute(const EdgeStore& edges, uint32_t n_users,
+               const SimRankOptions& options = {});
+
+  double Similarity(uint32_t a, uint32_t b) const {
+    return scores_[static_cast<size_t>(a) * n_ + b];
+  }
+  uint32_t n_users() const { return n_; }
+
+ private:
+  uint32_t n_ = 0;
+  std::vector<double> scores_;
+};
+
+}  // namespace s3::social
+
+#endif  // S3_SOCIAL_SIMRANK_H_

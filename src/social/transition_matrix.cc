@@ -1,0 +1,146 @@
+#include "social/transition_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace s3::social {
+
+void Frontier::Clear() {
+  for (uint32_t row : nonzero) values[row] = 0.0;
+  nonzero.clear();
+}
+
+void Frontier::Init(size_t total_rows) {
+  values.assign(total_rows, 0.0);
+  nonzero.clear();
+}
+
+void Frontier::Set(uint32_t row, double v) {
+  if (values[row] == 0.0 && v != 0.0) nonzero.push_back(row);
+  values[row] = v;
+}
+
+double Frontier::Sum() const {
+  double s = 0.0;
+  for (uint32_t row : nonzero) s += values[row];
+  return s;
+}
+
+void TransitionMatrix::Build(const EntityLayout& layout,
+                             const EdgeStore& edges,
+                             const doc::DocumentStore& docs) {
+  const uint32_t total = layout.total();
+  row_ptr_.assign(total + 1, 0);
+  denom_.assign(total, 0.0);
+  cols_.clear();
+  vals_.clear();
+
+  // Per-row accumulation buffer: column -> weight sum (unnormalized).
+  std::unordered_map<uint32_t, double> row_acc;
+  std::vector<std::pair<uint32_t, double>> sorted_row;
+
+  auto accumulate_entity = [&](EntityId x) {
+    for (uint32_t eidx : edges.OutEdges(x)) {
+      const NetEdge& e = edges.edges()[eidx];
+      row_acc[layout.Row(e.target)] += e.weight;
+    }
+  };
+
+  for (uint32_t row = 0; row < total; ++row) {
+    row_acc.clear();
+    EntityId n = layout.Entity(row);
+    double d = edges.OutWeight(n);
+    accumulate_entity(n);
+    if (n.kind() == EntityKind::kFragment) {
+      // A path entering a fragment may exit from any vertical neighbor.
+      for (doc::NodeId v : docs.VerticalNeighbors(n.index())) {
+        EntityId ve = EntityId::Fragment(v);
+        d += edges.OutWeight(ve);
+        accumulate_entity(ve);
+      }
+    }
+    denom_[row] = d;
+    sorted_row.assign(row_acc.begin(), row_acc.end());
+    std::sort(sorted_row.begin(), sorted_row.end());
+    for (auto& [col, w] : sorted_row) {
+      cols_.push_back(col);
+      vals_.push_back(w / d);
+    }
+    row_ptr_[row + 1] = cols_.size();
+  }
+
+  // Build the transpose by counting sort.
+  t_row_ptr_.assign(total + 1, 0);
+  for (uint32_t col : cols_) ++t_row_ptr_[col + 1];
+  for (uint32_t r = 0; r < total; ++r) t_row_ptr_[r + 1] += t_row_ptr_[r];
+  t_cols_.resize(cols_.size());
+  t_vals_.resize(vals_.size());
+  std::vector<uint64_t> cursor(t_row_ptr_.begin(), t_row_ptr_.end() - 1);
+  for (uint32_t row = 0; row < total; ++row) {
+    for (uint64_t i = row_ptr_[row]; i < row_ptr_[row + 1]; ++i) {
+      uint64_t pos = cursor[cols_[i]]++;
+      t_cols_[pos] = row;
+      t_vals_[pos] = vals_[i];
+    }
+  }
+}
+
+void TransitionMatrix::PropagateParallel(const Frontier& in, Frontier& out,
+                                         ThreadPool& pool) const {
+  assert(out.values.size() == in.values.size());
+  out.Clear();
+  const size_t total = rows();
+  const size_t n_chunks = (pool.WorkerCount() + 1) * 4;
+  const size_t chunk = (total + n_chunks - 1) / n_chunks;
+  std::vector<std::vector<uint32_t>> nz_per_chunk(n_chunks);
+  pool.ParallelFor(n_chunks, [&](size_t c) {
+    const size_t begin = c * chunk;
+    const size_t end = std::min(total, begin + chunk);
+    auto& nz = nz_per_chunk[c];
+    for (size_t row = begin; row < end; ++row) {
+      double sum = 0.0;
+      for (uint64_t i = t_row_ptr_[row]; i < t_row_ptr_[row + 1]; ++i) {
+        sum += in.values[t_cols_[i]] * t_vals_[i];
+      }
+      if (sum != 0.0) {
+        out.values[row] = sum;
+        nz.push_back(static_cast<uint32_t>(row));
+      }
+    }
+  });
+  for (auto& nz : nz_per_chunk) {
+    out.nonzero.insert(out.nonzero.end(), nz.begin(), nz.end());
+  }
+}
+
+void TransitionMatrix::Propagate(const Frontier& in, Frontier& out) const {
+  assert(out.values.size() == in.values.size());
+  out.Clear();
+  for (uint32_t row : in.nonzero) {
+    const double mass = in.values[row];
+    if (mass == 0.0) continue;
+    for (uint64_t i = row_ptr_[row]; i < row_ptr_[row + 1]; ++i) {
+      const uint32_t col = cols_[i];
+      if (out.values[col] == 0.0) out.nonzero.push_back(col);
+      out.values[col] += mass * vals_[i];
+    }
+  }
+}
+
+double TransitionMatrix::RowSum(uint32_t row) const {
+  double s = 0.0;
+  for (uint64_t i = row_ptr_[row]; i < row_ptr_[row + 1]; ++i) s += vals_[i];
+  return s;
+}
+
+std::vector<std::pair<uint32_t, double>> TransitionMatrix::Row(
+    uint32_t row) const {
+  std::vector<std::pair<uint32_t, double>> out;
+  for (uint64_t i = row_ptr_[row]; i < row_ptr_[row + 1]; ++i) {
+    out.emplace_back(cols_[i], vals_[i]);
+  }
+  return out;
+}
+
+}  // namespace s3::social

@@ -1,0 +1,86 @@
+// Normalized social-path transition matrix.
+//
+// Paper §2.5 defines path normalization: when a path enters a node n
+// (the end of the previous edge), the next edge e — which may leave n
+// or any of its vertical neighbors — gets the normalized weight
+//     e.n_w = e.w / Σ_{e' ∈ out(neigh(n))} e'.w .
+// Because the denominator depends only on the entered node n, all the
+// normalized continuations from n form a row of a (sub)stochastic
+// matrix T:
+//     T[n][m] = Σ_{e: x→m, x ∈ neigh(n)∪{n}} e.w / D(n),
+//     D(n)    = Σ_{e' ∈ out(neigh(n)∪{n})} e'.w .
+// The k-step frontier of the seeker (the paper's borderProx, §5.2) is
+// then δ_u · T^k, computed by repeated sparse vector-matrix products.
+// Row sums are ≤ 1, which yields the exact long-path attenuation bound
+// B>n_prox = γ^-(n+1) used by S3k.
+#ifndef S3_SOCIAL_TRANSITION_MATRIX_H_
+#define S3_SOCIAL_TRANSITION_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "doc/document_store.h"
+#include "social/edge_store.h"
+#include "social/entity.h"
+
+namespace s3::social {
+
+// Sparse frontier vector over the dense entity-row space.
+struct Frontier {
+  std::vector<double> values;    // dense, size = layout.total()
+  std::vector<uint32_t> nonzero; // rows with values[row] != 0
+
+  void Clear();
+  void Init(size_t total_rows);
+  void Set(uint32_t row, double v);
+  double Sum() const;
+};
+
+// CSR matrix over entity rows.
+class TransitionMatrix {
+ public:
+  // Builds T from the network edges and the document structure
+  // (vertical neighborhoods). Layout must cover all entities referenced
+  // by the edge store.
+  void Build(const EntityLayout& layout, const EdgeStore& edges,
+             const doc::DocumentStore& docs);
+
+  // out = in · T  (one exploration step). `out` is overwritten.
+  void Propagate(const Frontier& in, Frontier& out) const;
+
+  // Same product, computed pull-style over the stored transpose and
+  // parallelized across output rows. Worth it once the frontier is
+  // dense (it saturates the reachable graph after a few steps); the
+  // push form wins on sparse frontiers.
+  void PropagateParallel(const Frontier& in, Frontier& out,
+                         ThreadPool& pool) const;
+
+  // Normalization denominator D(n) for the row of entity `n` (0 if the
+  // neighborhood has no outgoing edge).
+  double Denominator(uint32_t row) const { return denom_[row]; }
+
+  // Sum of the row (≤ 1; 0 for sink rows).
+  double RowSum(uint32_t row) const;
+
+  size_t rows() const { return row_ptr_.empty() ? 0 : row_ptr_.size() - 1; }
+  size_t nonzeros() const { return cols_.size(); }
+
+  // Entries of one row as (column, value) pairs — for tests and for the
+  // naive reference implementation.
+  std::vector<std::pair<uint32_t, double>> Row(uint32_t row) const;
+
+ private:
+  std::vector<uint64_t> row_ptr_;
+  std::vector<uint32_t> cols_;
+  std::vector<double> vals_;
+  std::vector<double> denom_;
+  // Transpose (in-edges per row), for the pull-based parallel product.
+  std::vector<uint64_t> t_row_ptr_;
+  std::vector<uint32_t> t_cols_;
+  std::vector<double> t_vals_;
+};
+
+}  // namespace s3::social
+
+#endif  // S3_SOCIAL_TRANSITION_MATRIX_H_

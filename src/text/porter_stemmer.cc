@@ -1,0 +1,236 @@
+#include "text/porter_stemmer.h"
+
+#include <cstddef>
+
+namespace s3 {
+
+namespace {
+
+// The implementation follows Porter's original description: a word is
+// [C](VC)^m[V]; each step conditionally strips or rewrites a suffix.
+// We operate on a mutable std::string `w` with an explicit end index.
+
+bool IsVowelAt(const std::string& w, size_t i) {
+  char c = w[i];
+  if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') return true;
+  // 'y' is a vowel when preceded by a consonant.
+  if (c == 'y' && i > 0) return !IsVowelAt(w, i - 1);
+  return false;
+}
+
+// Measure m of w[0..end): the number of VC sequences.
+int Measure(const std::string& w, size_t end) {
+  int m = 0;
+  size_t i = 0;
+  // Skip initial consonants.
+  while (i < end && !IsVowelAt(w, i)) ++i;
+  while (i < end) {
+    // In a vowel run.
+    while (i < end && IsVowelAt(w, i)) ++i;
+    if (i >= end) break;
+    // In a consonant run => one VC found.
+    ++m;
+    while (i < end && !IsVowelAt(w, i)) ++i;
+  }
+  return m;
+}
+
+bool ContainsVowel(const std::string& w, size_t end) {
+  for (size_t i = 0; i < end; ++i) {
+    if (IsVowelAt(w, i)) return true;
+  }
+  return false;
+}
+
+bool EndsWithDoubleConsonant(const std::string& w, size_t end) {
+  if (end < 2) return false;
+  if (w[end - 1] != w[end - 2]) return false;
+  return !IsVowelAt(w, end - 1);
+}
+
+// *o condition: stem ends cvc where the final c is not w, x or y.
+bool EndsCvc(const std::string& w, size_t end) {
+  if (end < 3) return false;
+  if (IsVowelAt(w, end - 3) || !IsVowelAt(w, end - 2) ||
+      IsVowelAt(w, end - 1)) {
+    return false;
+  }
+  char c = w[end - 1];
+  return c != 'w' && c != 'x' && c != 'y';
+}
+
+bool EndsWith(const std::string& w, size_t end, std::string_view suffix) {
+  if (end < suffix.size()) return false;
+  return std::string_view(w.data() + end - suffix.size(), suffix.size()) ==
+         suffix;
+}
+
+// Replaces `suffix` (must be present) with `repl` if the measure of the
+// remaining stem satisfies m > threshold. Returns true if replaced.
+bool ReplaceIfMeasure(std::string& w, size_t& end, std::string_view suffix,
+                      std::string_view repl, int threshold) {
+  size_t stem_end = end - suffix.size();
+  if (Measure(w, stem_end) > threshold) {
+    w.replace(stem_end, end - stem_end, repl);
+    end = stem_end + repl.size();
+    return true;
+  }
+  return false;
+}
+
+void Step1a(std::string& w, size_t& end) {
+  if (EndsWith(w, end, "sses")) {
+    end -= 2;  // sses -> ss
+  } else if (EndsWith(w, end, "ies")) {
+    end -= 2;  // ies -> i
+  } else if (EndsWith(w, end, "ss")) {
+    // unchanged
+  } else if (EndsWith(w, end, "s")) {
+    end -= 1;  // s -> ""
+  }
+}
+
+void Step1b(std::string& w, size_t& end) {
+  bool second_third = false;
+  if (EndsWith(w, end, "eed")) {
+    if (Measure(w, end - 3) > 0) end -= 1;  // eed -> ee
+  } else if (EndsWith(w, end, "ed") && ContainsVowel(w, end - 2)) {
+    end -= 2;
+    second_third = true;
+  } else if (EndsWith(w, end, "ing") && ContainsVowel(w, end - 3)) {
+    end -= 3;
+    second_third = true;
+  }
+  if (!second_third) return;
+  if (EndsWith(w, end, "at") || EndsWith(w, end, "bl") ||
+      EndsWith(w, end, "iz")) {
+    w.resize(end);
+    w.push_back('e');
+    end += 1;
+  } else if (EndsWithDoubleConsonant(w, end)) {
+    char c = w[end - 1];
+    if (c != 'l' && c != 's' && c != 'z') end -= 1;
+  } else if (Measure(w, end) == 1 && EndsCvc(w, end)) {
+    w.resize(end);
+    w.push_back('e');
+    end += 1;
+  }
+}
+
+void Step1c(std::string& w, size_t& end) {
+  if (EndsWith(w, end, "y") && ContainsVowel(w, end - 1)) {
+    w[end - 1] = 'i';
+  }
+}
+
+struct SuffixRule {
+  std::string_view suffix;
+  std::string_view repl;
+};
+
+void ApplyRuleTable(std::string& w, size_t& end, const SuffixRule* rules,
+                    size_t n_rules, int threshold) {
+  for (size_t i = 0; i < n_rules; ++i) {
+    if (EndsWith(w, end, rules[i].suffix)) {
+      ReplaceIfMeasure(w, end, rules[i].suffix, rules[i].repl, threshold);
+      return;  // at most one rule fires, keyed on the longest match order
+    }
+  }
+}
+
+void Step2(std::string& w, size_t& end) {
+  static constexpr SuffixRule kRules[] = {
+      {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+      {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+      {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+      {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+      {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+      {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+      {"iviti", "ive"},   {"biliti", "ble"},
+  };
+  // Match the longest applicable suffix first.
+  size_t best = SIZE_MAX;
+  size_t best_len = 0;
+  for (size_t i = 0; i < std::size(kRules); ++i) {
+    if (EndsWith(w, end, kRules[i].suffix) &&
+        kRules[i].suffix.size() > best_len) {
+      best = i;
+      best_len = kRules[i].suffix.size();
+    }
+  }
+  if (best != SIZE_MAX) {
+    ReplaceIfMeasure(w, end, kRules[best].suffix, kRules[best].repl, 0);
+  }
+}
+
+void Step3(std::string& w, size_t& end) {
+  static constexpr SuffixRule kRules[] = {
+      {"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+      {"ical", "ic"},  {"ful", ""},   {"ness", ""},
+  };
+  ApplyRuleTable(w, end, kRules, std::size(kRules), 0);
+}
+
+void Step4(std::string& w, size_t& end) {
+  static constexpr std::string_view kSuffixes[] = {
+      "al",  "ance", "ence", "er",  "ic",  "able", "ible", "ant",
+      "ement", "ment", "ent", "ou", "ism", "ate",  "iti",  "ous",
+      "ive", "ize",
+  };
+  // Longest match first.
+  size_t best = SIZE_MAX;
+  size_t best_len = 0;
+  for (size_t i = 0; i < std::size(kSuffixes); ++i) {
+    if (EndsWith(w, end, kSuffixes[i]) && kSuffixes[i].size() > best_len) {
+      best = i;
+      best_len = kSuffixes[i].size();
+    }
+  }
+  if (best == SIZE_MAX) {
+    // "ion" requires the stem to end in s or t.
+    if (EndsWith(w, end, "ion")) {
+      size_t stem_end = end - 3;
+      if (stem_end > 0 && (w[stem_end - 1] == 's' || w[stem_end - 1] == 't') &&
+          Measure(w, stem_end) > 1) {
+        end = stem_end;
+      }
+    }
+    return;
+  }
+  std::string_view suffix = kSuffixes[best];
+  size_t stem_end = end - suffix.size();
+  if (Measure(w, stem_end) > 1) end = stem_end;
+}
+
+void Step5a(std::string& w, size_t& end) {
+  if (!EndsWith(w, end, "e")) return;
+  int m = Measure(w, end - 1);
+  if (m > 1 || (m == 1 && !EndsCvc(w, end - 1))) end -= 1;
+}
+
+void Step5b(std::string& w, size_t& end) {
+  if (end >= 2 && w[end - 1] == 'l' && w[end - 2] == 'l' &&
+      Measure(w, end) > 1) {
+    end -= 1;
+  }
+}
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  if (word.size() <= 2) return std::string(word);
+  std::string w(word);
+  size_t end = w.size();
+  Step1a(w, end);
+  Step1b(w, end);
+  Step1c(w, end);
+  Step2(w, end);
+  Step3(w, end);
+  Step4(w, end);
+  Step5a(w, end);
+  Step5b(w, end);
+  w.resize(end);
+  return w;
+}
+
+}  // namespace s3

@@ -1,0 +1,23 @@
+// Classic Porter stemming algorithm (M.F. Porter, "An algorithm for
+// suffix stripping", Program 14(3), 1980).
+//
+// The S3 data model (paper §2) defines the keyword set K as URIs plus
+// the *stemmed* versions of all literals; e.g. "graduation" and
+// "graduates" both map to the same keyword as "graduate". This is the
+// stemmer used by the document ingestion pipeline and by query parsing,
+// so that query keywords and document keywords meet in the same space.
+#ifndef S3_TEXT_PORTER_STEMMER_H_
+#define S3_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace s3 {
+
+// Stems a single lowercase ASCII word. Words of length <= 2 are
+// returned unchanged, per the original algorithm.
+std::string PorterStem(std::string_view word);
+
+}  // namespace s3
+
+#endif  // S3_TEXT_PORTER_STEMMER_H_

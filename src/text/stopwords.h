@@ -1,0 +1,18 @@
+// English stop-word filtering for the document ingestion pipeline
+// (paper §2.3: "stop words have been removed").
+#ifndef S3_TEXT_STOPWORDS_H_
+#define S3_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace s3 {
+
+// True if `word` (lowercase ASCII) is a stop word.
+bool IsStopWord(std::string_view word);
+
+// Number of words in the built-in stop list (exposed for tests).
+size_t StopWordCount();
+
+}  // namespace s3
+
+#endif  // S3_TEXT_STOPWORDS_H_

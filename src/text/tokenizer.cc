@@ -1,0 +1,67 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+
+namespace s3 {
+
+namespace {
+
+bool IsWordChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return std::isalnum(u) || c == '_' || c == '\'';
+}
+
+bool IsWordStart(char c) { return IsWordChar(c) || c == '#' || c == '@'; }
+
+}  // namespace
+
+std::vector<std::string> TokenizeWords(std::string_view text) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (!IsWordStart(text[i])) {
+      ++i;
+      continue;
+    }
+    std::string token;
+    if (text[i] == '#' || text[i] == '@') {
+      token.push_back(text[i]);
+      ++i;
+    }
+    while (i < text.size() && IsWordChar(text[i])) {
+      if (text[i] != '\'') token.push_back(text[i]);
+      ++i;
+    }
+    // A lone '#'/'@' is punctuation, not a token.
+    if (!token.empty() && !(token.size() == 1 &&
+                            (token[0] == '#' || token[0] == '@'))) {
+      tokens.push_back(std::move(token));
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::string> ExtractKeywords(std::string_view text,
+                                         const TokenizerOptions& options) {
+  std::vector<std::string> keywords;
+  for (std::string& token : TokenizeWords(text)) {
+    std::string word =
+        options.lowercase ? ToLowerAscii(token) : std::move(token);
+    // Hashtags/mentions bypass stop-word filtering and stemming: they
+    // are identifiers, not English words.
+    bool is_symbol = !word.empty() && (word[0] == '#' || word[0] == '@');
+    if (!is_symbol) {
+      if (options.remove_stopwords && IsStopWord(word)) continue;
+      if (options.stem) word = PorterStem(word);
+    }
+    if (word.size() < options.min_token_length) continue;
+    keywords.push_back(std::move(word));
+  }
+  return keywords;
+}
+
+}  // namespace s3

@@ -1,0 +1,34 @@
+// Text -> keyword pipeline: tokenize, lowercase, drop stop words, stem.
+//
+// This implements the paper's §2.3 content model: "each text appearing
+// in a document has been broken into words, stop words have been
+// removed, and the remaining words have been stemmed".
+#ifndef S3_TEXT_TOKENIZER_H_
+#define S3_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace s3 {
+
+struct TokenizerOptions {
+  bool lowercase = true;
+  bool remove_stopwords = true;
+  bool stem = true;
+  // Tokens shorter than this (after stemming) are dropped.
+  size_t min_token_length = 1;
+};
+
+// Splits `text` into word tokens (runs of [A-Za-z0-9_#@'] characters;
+// '#' and '@' are kept word-initial so hashtags and mentions survive,
+// apostrophes are stripped).
+std::vector<std::string> TokenizeWords(std::string_view text);
+
+// Full pipeline: tokenize + lowercase + stopword-filter + Porter stem.
+std::vector<std::string> ExtractKeywords(
+    std::string_view text, const TokenizerOptions& options = {});
+
+}  // namespace s3
+
+#endif  // S3_TEXT_TOKENIZER_H_

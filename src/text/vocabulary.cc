@@ -1,0 +1,26 @@
+#include "text/vocabulary.h"
+
+#include <cassert>
+
+namespace s3 {
+
+KeywordId Vocabulary::Intern(std::string_view keyword) {
+  auto it = index_.find(std::string(keyword));
+  if (it != index_.end()) return it->second;
+  KeywordId id = static_cast<KeywordId>(spellings_.size());
+  spellings_.emplace_back(keyword);
+  index_.emplace(spellings_.back(), id);
+  return id;
+}
+
+KeywordId Vocabulary::Find(std::string_view keyword) const {
+  auto it = index_.find(std::string(keyword));
+  return it == index_.end() ? kInvalidKeyword : it->second;
+}
+
+const std::string& Vocabulary::Spelling(KeywordId id) const {
+  assert(id < spellings_.size());
+  return spellings_[id];
+}
+
+}  // namespace s3

@@ -1,0 +1,40 @@
+// Keyword interning: maps keyword strings (stemmed words and URIs,
+// paper's set K) to dense integer ids used throughout the engine.
+#ifndef S3_TEXT_VOCABULARY_H_
+#define S3_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace s3 {
+
+// Dense id of an interned keyword.
+using KeywordId = uint32_t;
+inline constexpr KeywordId kInvalidKeyword = UINT32_MAX;
+
+// Append-only string interner. Ids are assigned densely from 0 in
+// insertion order; lookups never invalidate ids.
+class Vocabulary {
+ public:
+  // Returns the id of `keyword`, interning it if new.
+  KeywordId Intern(std::string_view keyword);
+
+  // Returns the id of `keyword` or kInvalidKeyword if absent.
+  KeywordId Find(std::string_view keyword) const;
+
+  // Precondition: id < size().
+  const std::string& Spelling(KeywordId id) const;
+
+  size_t size() const { return spellings_.size(); }
+
+ private:
+  std::unordered_map<std::string, KeywordId> index_;
+  std::vector<std::string> spellings_;
+};
+
+}  // namespace s3
+
+#endif  // S3_TEXT_VOCABULARY_H_

@@ -1,0 +1,71 @@
+#include "workload/business_gen.h"
+
+#include <cassert>
+
+namespace s3::workload {
+
+GenResult GenerateBusinessReviews(const BusinessParams& params) {
+  GenResult out;
+  out.instance = std::make_unique<core::S3Instance>();
+  out.name = "I3-business";
+  core::S3Instance& inst = *out.instance;
+  Rng rng(params.seed);
+
+  OntologyInfo onto = GenerateOntology(inst, params.ontology);
+  out.semantic_anchors = onto.class_keywords;
+
+  AddUsers(inst, params.n_users, "yelp:");
+  inst.DeclareSubProperty("yelp:friend", "S3:social");
+  // Friendship is mutual: AddSocialGraph adds one direction; add the
+  // reverse pass with a different seed offset for realism.
+  AddSocialGraph(inst, rng, params.n_users, params.avg_social_degree / 2,
+                 /*uniform_weights=*/true, params.isolated_user_fraction);
+  AddSocialGraph(inst, rng, params.n_users, params.avg_social_degree / 2,
+                 /*uniform_weights=*/true, params.isolated_user_fraction);
+
+  ZipfSampler vocab(params.vocab_size, params.zipf_vocab);
+  ZipfSampler activity(params.n_users, 1.1);
+
+  auto make_review_doc = [&](social::UserId poster,
+                             const std::string& uri) -> doc::DocId {
+    doc::Document d("review");
+    uint32_t n_paragraphs =
+        params.paragraphs_min +
+        static_cast<uint32_t>(rng.Uniform(
+            params.paragraphs_max - params.paragraphs_min + 1));
+    for (uint32_t p = 0; p < n_paragraphs; ++p) {
+      uint32_t para = d.AddChild(0, "paragraph");
+      d.AddKeywords(para,
+                    SampleText(inst, rng, vocab, params.words_per_paragraph,
+                               onto.entity_keywords, params.entity_prob));
+    }
+    Result<doc::DocId> added = inst.AddDocument(std::move(d), uri, poster);
+    assert(added.ok());
+    return added.value();
+  };
+
+  for (uint32_t b = 0; b < params.n_businesses; ++b) {
+    uint32_t n_reviews =
+        1 + static_cast<uint32_t>(rng.Uniform(static_cast<uint64_t>(
+                std::max(1.0, 2.0 * params.avg_reviews_per_business - 1.0))));
+    doc::DocId first = make_review_doc(
+        static_cast<social::UserId>(activity.Sample(rng)),
+        "yelp:b" + std::to_string(b) + ".r0");
+    doc::NodeId first_root = inst.docs().RootNode(first);
+    for (uint32_t r = 1; r < n_reviews; ++r) {
+      doc::DocId extra = make_review_doc(
+          static_cast<social::UserId>(activity.Sample(rng)),
+          "yelp:b" + std::to_string(b) + ".r" + std::to_string(r));
+      Status s = inst.AddComment(extra, first_root);
+      assert(s.ok());
+      (void)s;
+    }
+  }
+
+  Status s = inst.Finalize();
+  assert(s.ok());
+  (void)s;
+  return out;
+}
+
+}  // namespace s3::workload

@@ -1,0 +1,36 @@
+// Synthetic business-review instance — the I3 (Yelp) stand-in.
+//
+// Paper §5.1: friend lists (weight-1 yelp:friend edges, mutual), one
+// document per business (its first review), later reviews comment on
+// the first; review text semantically enriched with the ontology.
+// No tags, like the paper's I3.
+#ifndef S3_WORKLOAD_BUSINESS_GEN_H_
+#define S3_WORKLOAD_BUSINESS_GEN_H_
+
+#include "workload/gen_util.h"
+#include "workload/ontology_gen.h"
+
+namespace s3::workload {
+
+struct BusinessParams {
+  uint64_t seed = 44;
+  uint32_t n_users = 1500;
+  uint32_t n_businesses = 300;
+  double avg_reviews_per_business = 8.0;
+  // Fraction of users with no social edges (see AddSocialGraph).
+  double isolated_user_fraction = 0.0;
+  double avg_social_degree = 10.0;
+  uint32_t paragraphs_min = 1;
+  uint32_t paragraphs_max = 3;
+  uint32_t words_per_paragraph = 10;
+  uint32_t vocab_size = 3500;
+  double zipf_vocab = 1.05;
+  double entity_prob = 0.15;
+  OntologyParams ontology;
+};
+
+GenResult GenerateBusinessReviews(const BusinessParams& params);
+
+}  // namespace s3::workload
+
+#endif  // S3_WORKLOAD_BUSINESS_GEN_H_

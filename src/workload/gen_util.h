@@ -1,0 +1,90 @@
+// Shared helpers for the synthetic instance generators.
+#ifndef S3_WORKLOAD_GEN_UTIL_H_
+#define S3_WORKLOAD_GEN_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/s3_instance.h"
+
+namespace s3::workload {
+
+// A generated instance plus the metadata benchmarks need.
+struct GenResult {
+  std::unique_ptr<core::S3Instance> instance;
+  std::string name;
+  // Class-URI keywords usable as semantic query anchors (empty when the
+  // instance was not matched against an ontology, like I2).
+  std::vector<KeywordId> semantic_anchors;
+};
+
+// Registers `n_users` users named "<prefix>u<i>".
+inline void AddUsers(core::S3Instance& inst, uint32_t n_users,
+                     const std::string& prefix) {
+  for (uint32_t i = 0; i < n_users; ++i) {
+    inst.AddUser(prefix + "u" + std::to_string(i));
+  }
+}
+
+// Adds a heavy-tailed directed social graph: out-degrees are sampled
+// around `avg_degree`, targets by Zipf popularity (preferential-
+// attachment shape). `uniform_weights` gives every edge weight 1 (the
+// follower/friend datasets I2/I3); otherwise weights are similarity-
+// like values in (0, 1] (the I1 construction).
+//
+// `isolated_fraction` of the users get no social edges at all — like
+// the friendless reviewers of the real datasets (paper Fig. 4 counts
+// "social edges per user HAVING ANY"). Isolated users still post and
+// tag, so their content is reachable through document links (S3k) but
+// not through the social graph (TopkS) — the source of the paper's
+// graph-reachability gap (Fig. 8).
+inline size_t AddSocialGraph(core::S3Instance& inst, Rng& rng,
+                             uint32_t n_users, double avg_degree,
+                             bool uniform_weights,
+                             double isolated_fraction = 0.0) {
+  if (n_users < 2) return 0;
+  ZipfSampler popularity(n_users, 1.0);
+  std::vector<bool> isolated(n_users, false);
+  for (uint32_t u = 0; u < n_users; ++u) {
+    isolated[u] = rng.Chance(isolated_fraction);
+  }
+  size_t added = 0;
+  for (uint32_t u = 0; u < n_users; ++u) {
+    if (isolated[u]) continue;
+    // Degree: geometric-ish around the average.
+    size_t degree = 1 + rng.Uniform(static_cast<uint64_t>(
+                            std::max(1.0, 2.0 * avg_degree - 1.0)));
+    for (size_t d = 0; d < degree; ++d) {
+      uint32_t v = static_cast<uint32_t>(popularity.Sample(rng));
+      if (v == u || isolated[v]) continue;
+      double w = uniform_weights ? 1.0 : 0.1 + 0.9 * rng.NextDouble();
+      if (inst.AddSocialEdge(u, v, w).ok()) ++added;
+    }
+  }
+  return added;
+}
+
+// Samples `n` content keywords: Zipf-distributed plain words
+// "w<rank>", each independently replaced by an ontology entity URI
+// with probability `entity_prob` (semantic enrichment).
+inline std::vector<KeywordId> SampleText(
+    core::S3Instance& inst, Rng& rng, const ZipfSampler& vocab, size_t n,
+    const std::vector<KeywordId>& entities, double entity_prob) {
+  std::vector<KeywordId> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!entities.empty() && rng.Chance(entity_prob)) {
+      out.push_back(entities[rng.Uniform(entities.size())]);
+    } else {
+      out.push_back(
+          inst.InternKeyword("w" + std::to_string(vocab.Sample(rng))));
+    }
+  }
+  return out;
+}
+
+}  // namespace s3::workload
+
+#endif  // S3_WORKLOAD_GEN_UTIL_H_

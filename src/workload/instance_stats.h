@@ -1,0 +1,35 @@
+// Instance statistics, matching the rows of the paper's Figure 4.
+#ifndef S3_WORKLOAD_INSTANCE_STATS_H_
+#define S3_WORKLOAD_INSTANCE_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "core/s3_instance.h"
+
+namespace s3::workload {
+
+struct InstanceStats {
+  size_t users = 0;
+  size_t social_edges = 0;
+  size_t documents = 0;
+  size_t fragments_non_root = 0;
+  size_t tags = 0;
+  size_t keyword_occurrences = 0;
+  size_t distinct_keywords = 0;
+  size_t nodes_without_keywords = 0;  // users + fragments + tags
+  size_t network_edges = 0;
+  size_t components = 0;
+  size_t rdf_triples = 0;
+  size_t rdf_derived = 0;
+  double avg_social_degree = 0.0;
+};
+
+InstanceStats ComputeStats(const core::S3Instance& instance);
+
+// Renders the Figure 4-style block for one instance.
+std::string FormatStats(const std::string& name, const InstanceStats& s);
+
+}  // namespace s3::workload
+
+#endif  // S3_WORKLOAD_INSTANCE_STATS_H_

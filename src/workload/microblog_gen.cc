@@ -1,0 +1,103 @@
+#include "workload/microblog_gen.h"
+
+#include <cassert>
+
+namespace s3::workload {
+
+GenResult GenerateMicroblog(const MicroblogParams& params) {
+  GenResult out;
+  out.instance = std::make_unique<core::S3Instance>();
+  out.name = "I1-microblog";
+  core::S3Instance& inst = *out.instance;
+  Rng rng(params.seed);
+
+  OntologyInfo onto = GenerateOntology(inst, params.ontology);
+  out.semantic_anchors = onto.class_keywords;
+
+  AddUsers(inst, params.n_users, "tw:");
+  AddSocialGraph(inst, rng, params.n_users, params.avg_social_degree,
+                 /*uniform_weights=*/false, params.isolated_user_fraction);
+
+  ZipfSampler vocab(params.vocab_size, params.zipf_vocab);
+  ZipfSampler activity(params.n_users, 1.1);
+
+  std::vector<KeywordId> hashtags;
+  hashtags.reserve(params.n_hashtags);
+  for (uint32_t h = 0; h < params.n_hashtags; ++h) {
+    hashtags.push_back(inst.InternKeyword("#tag" + std::to_string(h)));
+  }
+
+  // Base tweets first, then retweets/replies referencing them.
+  std::vector<doc::DocId> base_docs;
+  std::vector<social::UserId> base_poster;
+  uint32_t n_base = static_cast<uint32_t>(
+      params.n_tweets *
+      (1.0 - params.retweet_fraction - params.reply_fraction));
+  if (n_base == 0) n_base = 1;
+
+  auto make_tweet_doc = [&](social::UserId poster,
+                            const std::string& uri) -> doc::DocId {
+    doc::Document d("tweet");
+    uint32_t text = d.AddChild(0, "text");
+    d.AddKeywords(text,
+                  SampleText(inst, rng, vocab, params.words_per_tweet,
+                             onto.entity_keywords, params.entity_prob));
+    uint32_t date = d.AddChild(0, "date");
+    d.AddKeywords(date, {inst.InternKeyword(
+                            "d2014_" + std::to_string(rng.Uniform(30)))});
+    if (rng.Chance(params.geo_prob)) {
+      uint32_t geo = d.AddChild(0, "geo");
+      d.AddKeywords(geo, {inst.InternKeyword(
+                             "city" + std::to_string(rng.Uniform(50)))});
+    }
+    Result<doc::DocId> added = inst.AddDocument(std::move(d), uri, poster);
+    assert(added.ok());
+    return added.value();
+  };
+
+  for (uint32_t t = 0; t < n_base; ++t) {
+    social::UserId poster =
+        static_cast<social::UserId>(activity.Sample(rng));
+    doc::DocId d = make_tweet_doc(poster, "tw:d" + std::to_string(t));
+    base_docs.push_back(d);
+    base_poster.push_back(poster);
+  }
+
+  // Popularity of base tweets for retweet/reply targeting.
+  ZipfSampler tweet_pop(base_docs.size(), 0.9);
+
+  uint32_t n_retweets =
+      static_cast<uint32_t>(params.n_tweets * params.retweet_fraction);
+  for (uint32_t r = 0; r < n_retweets; ++r) {
+    social::UserId u = static_cast<social::UserId>(activity.Sample(rng));
+    doc::DocId target = base_docs[tweet_pop.Sample(rng)];
+    doc::NodeId subject = inst.docs().RootNode(target);
+    // Retweet with a fresh hashtag -> keyworded tag; otherwise a pure
+    // endorsement tag.
+    KeywordId kw = rng.Chance(params.retweet_hashtag_prob)
+                       ? hashtags[rng.Uniform(hashtags.size())]
+                       : kInvalidKeyword;
+    Result<social::TagId> tag = inst.AddTagOnFragment(u, subject, kw);
+    assert(tag.ok());
+    (void)tag;
+  }
+
+  uint32_t n_replies =
+      static_cast<uint32_t>(params.n_tweets * params.reply_fraction);
+  for (uint32_t r = 0; r < n_replies; ++r) {
+    social::UserId u = static_cast<social::UserId>(activity.Sample(rng));
+    doc::DocId reply =
+        make_tweet_doc(u, "tw:reply" + std::to_string(r));
+    doc::DocId target = base_docs[tweet_pop.Sample(rng)];
+    Status s = inst.AddComment(reply, inst.docs().RootNode(target));
+    assert(s.ok());
+    (void)s;
+  }
+
+  Status s = inst.Finalize();
+  assert(s.ok());
+  (void)s;
+  return out;
+}
+
+}  // namespace s3::workload

@@ -1,0 +1,41 @@
+// Synthetic microblog instance — the I1 (Twitter + DBpedia) stand-in.
+//
+// Construction mirrors paper §5.1: every non-retweet tweet becomes a
+// three-node document (text / date / geo); a retweet becomes a tag on
+// the original (keyworded by a hashtag, or a pure endorsement);
+// a reply becomes a S3:commentsOn document; tweet text is semantically
+// enriched by replacing words with ontology-entity URIs; users are
+// linked by weighted similarity edges.
+#ifndef S3_WORKLOAD_MICROBLOG_GEN_H_
+#define S3_WORKLOAD_MICROBLOG_GEN_H_
+
+#include "workload/gen_util.h"
+#include "workload/ontology_gen.h"
+
+namespace s3::workload {
+
+struct MicroblogParams {
+  uint64_t seed = 42;
+  uint32_t n_users = 2000;
+  uint32_t n_tweets = 6000;  // total tweet actions
+  double retweet_fraction = 0.85;
+  double reply_fraction = 0.069;
+  // Fraction of users with no social edges (see AddSocialGraph).
+  double isolated_user_fraction = 0.0;
+  double avg_social_degree = 16.0;
+  size_t words_per_tweet = 8;
+  uint32_t vocab_size = 4000;
+  double zipf_vocab = 1.05;
+  double entity_prob = 0.2;
+  uint32_t n_hashtags = 150;
+  double retweet_hashtag_prob = 0.4;
+  double geo_prob = 0.3;
+  OntologyParams ontology;
+};
+
+// Generates and finalizes the instance.
+GenResult GenerateMicroblog(const MicroblogParams& params);
+
+}  // namespace s3::workload
+
+#endif  // S3_WORKLOAD_MICROBLOG_GEN_H_

@@ -1,0 +1,59 @@
+#include "workload/ontology_gen.h"
+
+#include <string>
+
+#include "common/rng.h"
+#include "rdf/vocab.h"
+
+namespace s3::workload {
+
+OntologyInfo GenerateOntology(core::S3Instance& instance,
+                              const OntologyParams& params) {
+  Rng rng(params.seed);
+  OntologyInfo info;
+
+  // Class forest: class i picks a parent among earlier classes.
+  std::vector<std::string> class_uri(params.n_classes);
+  for (uint32_t i = 0; i < params.n_classes; ++i) {
+    class_uri[i] = "onto:c" + std::to_string(i);
+    info.class_keywords.push_back(instance.InternKeyword(class_uri[i]));
+    if (i > 0 && rng.Chance(params.parent_probability)) {
+      uint32_t parent = static_cast<uint32_t>(rng.Uniform(i));
+      instance.DeclareSubClass(class_uri[i], class_uri[parent]);
+      ++info.n_schema_triples;
+    }
+  }
+
+  // Entities: typed instances whose URIs appear in document text.
+  for (uint32_t j = 0; j < params.n_entities; ++j) {
+    std::string uri = "onto:e" + std::to_string(j);
+    uint32_t klass = static_cast<uint32_t>(rng.Uniform(params.n_classes));
+    instance.DeclareType(uri, class_uri[klass]);
+    ++info.n_schema_triples;
+    info.entity_keywords.push_back(instance.InternKeyword(uri));
+  }
+
+  // Property hierarchy with domain/range typing, exercising the other
+  // RDFS rules (these enrich the graph; ≺sp members also join Ext).
+  for (uint32_t p = 0; p < params.n_properties; ++p) {
+    std::string uri = "onto:p" + std::to_string(p);
+    if (p > 0 && rng.Chance(0.5)) {
+      instance.DeclareSubProperty(
+          uri, "onto:p" + std::to_string(rng.Uniform(p)));
+      ++info.n_schema_triples;
+    }
+    uint32_t dom = static_cast<uint32_t>(rng.Uniform(params.n_classes));
+    uint32_t rng_class = static_cast<uint32_t>(rng.Uniform(params.n_classes));
+    auto& g = instance.rdf_graph();
+    auto& t = instance.terms();
+    g.Add(t.InternUri(uri), t.InternUri(rdf::vocab::kDomain),
+          t.InternUri(class_uri[dom]));
+    g.Add(t.InternUri(uri), t.InternUri(rdf::vocab::kRange),
+          t.InternUri(class_uri[rng_class]));
+    info.n_schema_triples += 2;
+  }
+
+  return info;
+}
+
+}  // namespace s3::workload

@@ -1,0 +1,48 @@
+// Query workload builder (paper §5.1 "Queries").
+//
+// Workloads are parameterized by keyword frequency f (rare = bottom
+// quartile of document frequency, common = top quartile), query length
+// l, and result size k: qset_{f,l,k}, 100 queries each. Semantic
+// anchors (class URIs) may join the candidate pool so that keyword
+// extension has something to expand.
+#ifndef S3_WORKLOAD_QUERY_GEN_H_
+#define S3_WORKLOAD_QUERY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/s3k.h"
+#include "workload/gen_util.h"
+
+namespace s3::workload {
+
+enum class Frequency { kRare, kCommon };
+
+struct WorkloadSpec {
+  Frequency freq = Frequency::kCommon;
+  size_t n_keywords = 1;  // l
+  size_t k = 5;
+  size_t n_queries = 100;
+  uint64_t seed = 1234;
+  // Fraction of query keywords drawn from the semantic anchor pool
+  // (class URIs) instead of the frequency bucket, when anchors exist.
+  double anchor_prob = 0.2;
+};
+
+struct QuerySet {
+  std::string label;  // e.g. "+,1,5"
+  size_t k = 5;
+  std::vector<core::Query> queries;
+};
+
+// Builds a workload over a finalized instance. `anchors` may be empty.
+QuerySet BuildWorkload(const core::S3Instance& instance,
+                       const std::vector<KeywordId>& anchors,
+                       const WorkloadSpec& spec);
+
+// Human-readable label "f,l,k" matching the paper's figures.
+std::string WorkloadLabel(const WorkloadSpec& spec);
+
+}  // namespace s3::workload
+
+#endif  // S3_WORKLOAD_QUERY_GEN_H_

@@ -1,0 +1,67 @@
+#include "workload/review_gen.h"
+
+#include <cassert>
+
+namespace s3::workload {
+
+GenResult GenerateReviewSite(const ReviewParams& params) {
+  GenResult out;
+  out.instance = std::make_unique<core::S3Instance>();
+  out.name = "I2-reviews";
+  core::S3Instance& inst = *out.instance;
+  Rng rng(params.seed);
+
+  AddUsers(inst, params.n_users, "vdk:");
+  // Follower edges have weight 1 (vdk:follow ≺sp S3:social).
+  inst.DeclareSubProperty("vdk:follow", "S3:social");
+  AddSocialGraph(inst, rng, params.n_users, params.avg_social_degree,
+                 /*uniform_weights=*/true, params.isolated_user_fraction);
+
+  ZipfSampler vocab(params.vocab_size, params.zipf_vocab);
+  ZipfSampler activity(params.n_users, 1.1);
+
+  auto make_comment_doc = [&](social::UserId poster,
+                              const std::string& uri) -> doc::DocId {
+    doc::Document d("comment");
+    uint32_t n_sentences =
+        params.sentences_min +
+        static_cast<uint32_t>(rng.Uniform(
+            params.sentences_max - params.sentences_min + 1));
+    for (uint32_t s = 0; s < n_sentences; ++s) {
+      uint32_t sent = d.AddChild(0, "sentence");
+      d.AddKeywords(sent, SampleText(inst, rng, vocab,
+                                     params.words_per_sentence, {}, 0.0));
+    }
+    Result<doc::DocId> added = inst.AddDocument(std::move(d), uri, poster);
+    assert(added.ok());
+    return added.value();
+  };
+
+  uint32_t comment_seq = 0;
+  for (uint32_t m = 0; m < params.n_movies; ++m) {
+    uint32_t n_comments =
+        1 + static_cast<uint32_t>(rng.Uniform(static_cast<uint64_t>(
+                std::max(1.0, 2.0 * params.avg_comments_per_movie - 1.0))));
+    doc::DocId first = make_comment_doc(
+        static_cast<social::UserId>(activity.Sample(rng)),
+        "vdk:m" + std::to_string(m) + ".c0");
+    doc::NodeId first_root = inst.docs().RootNode(first);
+    for (uint32_t c = 1; c < n_comments; ++c) {
+      doc::DocId extra = make_comment_doc(
+          static_cast<social::UserId>(activity.Sample(rng)),
+          "vdk:m" + std::to_string(m) + ".c" + std::to_string(c));
+      Status s = inst.AddComment(extra, first_root);
+      assert(s.ok());
+      (void)s;
+    }
+    comment_seq += n_comments;
+  }
+  (void)comment_seq;
+
+  Status s = inst.Finalize();
+  assert(s.ok());
+  (void)s;
+  return out;
+}
+
+}  // namespace s3::workload

@@ -1,0 +1,34 @@
+// Synthetic review-thread instance — the I2 (Vodkaster) stand-in.
+//
+// Paper §5.1: follower relations (weight-1 vdk:follow edges, a
+// S3:social sub-property), one document per movie (its first comment),
+// each later comment a S3:commentsOn document; comment sentences
+// become fragments. No ontology matching and no tags, exactly like the
+// paper's I2.
+#ifndef S3_WORKLOAD_REVIEW_GEN_H_
+#define S3_WORKLOAD_REVIEW_GEN_H_
+
+#include "workload/gen_util.h"
+
+namespace s3::workload {
+
+struct ReviewParams {
+  uint64_t seed = 43;
+  uint32_t n_users = 1000;
+  uint32_t n_movies = 400;
+  double avg_comments_per_movie = 6.0;
+  // Fraction of users with no social edges (see AddSocialGraph).
+  double isolated_user_fraction = 0.0;
+  double avg_social_degree = 12.0;
+  uint32_t sentences_min = 1;
+  uint32_t sentences_max = 4;
+  uint32_t words_per_sentence = 6;
+  uint32_t vocab_size = 3000;
+  double zipf_vocab = 1.05;
+};
+
+GenResult GenerateReviewSite(const ReviewParams& params);
+
+}  // namespace s3::workload
+
+#endif  // S3_WORKLOAD_REVIEW_GEN_H_

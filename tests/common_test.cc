@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace s3 {
+namespace {
+
+// ---- Status / Result --------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("x").code(), Status::NotFound("x").code(),
+      Status::AlreadyExists("x").code(),   Status::OutOfRange("x").code(),
+      Status::FailedPrecondition("x").code(), Status::Internal("x").code(),
+  };
+  EXPECT_EQ(codes.size(), 6u);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+Status FailsThrough() {
+  S3_RETURN_IF_ERROR(Status::Internal("inner"));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kInternal);
+}
+
+// ---- Rng ---------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.Uniform(10)]++;
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 - n / 50);
+    EXPECT_LT(c, n / 10 + n / 50);
+  }
+}
+
+// ---- ZipfSampler --------------------------------------------------------
+
+TEST(ZipfTest, RankZeroIsMostFrequent) {
+  Rng rng(5);
+  ZipfSampler z(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) counts[z.Sample(rng)]++;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[50]);
+}
+
+TEST(ZipfTest, SingleElement) {
+  Rng rng(5);
+  ZipfSampler z(1, 1.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z.Sample(rng), 0u);
+}
+
+TEST(ZipfTest, SamplesCoverSupport) {
+  Rng rng(6);
+  ZipfSampler z(5, 0.5);
+  std::set<size_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(z.Sample(rng));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+// ---- Stats ---------------------------------------------------------------
+
+TEST(StatsTest, QuantileOfSingleton) {
+  EXPECT_DOUBLE_EQ(Quantile({3.0}, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile({3.0}, 0.0), 3.0);
+}
+
+TEST(StatsTest, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(Quantile({5.0, 1.0, 3.0}, 0.5), 3.0);
+}
+
+TEST(StatsTest, MedianOfEvenSampleInterpolates) {
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+}
+
+TEST(StatsTest, SummaryOrdering) {
+  QuartileSummary s = Summarize({9.0, 1.0, 5.0, 3.0, 7.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_LE(s.min, s.q1);
+  EXPECT_LE(s.q1, s.median);
+  EXPECT_LE(s.median, s.q3);
+  EXPECT_LE(s.q3, s.max);
+  EXPECT_EQ(s.count, 5u);
+}
+
+TEST(StatsTest, Mean) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+// ---- str_util --------------------------------------------------------------
+
+TEST(StrUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("HeLLo W0rld"), "hello w0rld");
+}
+
+TEST(StrUtilTest, SplitDropsEmptyPieces) {
+  std::vector<std::string> parts = Split("a,,b, c", ", ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StrUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("S3:social", "S3:"));
+  EXPECT_FALSE(StartsWith("S3", "S3:"));
+}
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "."), "a.b.c");
+  EXPECT_EQ(Join({}, "."), "");
+}
+
+}  // namespace
+}  // namespace s3

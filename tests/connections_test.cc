@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/connections.h"
+#include "test_fixtures.h"
+
+namespace s3::core {
+namespace {
+
+using social::EntityId;
+
+// Helpers to query the builder on a fixture.
+QueryExtension SingleKeyword(KeywordId k) {
+  QueryExtension ext(1);
+  ext[0].insert(k);
+  return ext;
+}
+
+const Candidate* FindCandidate(const ComponentCandidates& cc,
+                               doc::NodeId node) {
+  for (const Candidate& c : cc.candidates) {
+    if (c.node == node) return &c;
+  }
+  return nullptr;
+}
+
+class Figure1ConnectionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fig_ = s3::testing::BuildFigure1();
+    inst_ = fig_.instance.get();
+  }
+
+  social::ComponentId CompOf(doc::NodeId n) {
+    return inst_->components().Of(EntityId::Fragment(n));
+  }
+
+  s3::testing::Figure1 fig_;
+  const S3Instance* inst_ = nullptr;
+};
+
+TEST_F(Figure1ConnectionsTest, ContainsConnectionWithSelfSource) {
+  // con(d2, "university") includes (contains, d2.7.5, d2): the source of
+  // a contains connection is the candidate document itself.
+  ConnectionBuilder b(*inst_, 0.5);
+  auto cc = b.Build(CompOf(fig_.d2_root),
+                    SingleKeyword(fig_.kw_university));
+  const Candidate* d2 = FindCandidate(cc, fig_.d2_root);
+  ASSERT_NE(d2, nullptr);
+  bool self_source = false;
+  for (const auto& [src, w] : d2->sources[0]) {
+    if (src == inst_->RowOfFragment(fig_.d2_root)) self_source = true;
+  }
+  EXPECT_TRUE(self_source);
+}
+
+TEST_F(Figure1ConnectionsTest, ContainsWeightUsesPosLength) {
+  // d2.7.5 is at depth 2 below d2's root: weight η².
+  const double eta = 0.5;
+  ConnectionBuilder b(*inst_, eta);
+  auto cc = b.Build(CompOf(fig_.d2_root),
+                    SingleKeyword(fig_.kw_university));
+  const Candidate* d2 = FindCandidate(cc, fig_.d2_root);
+  ASSERT_NE(d2, nullptr);
+  ASSERT_EQ(d2->sources[0].size(), 1u);
+  EXPECT_NEAR(d2->sources[0][0].second, eta * eta, 1e-6);
+
+  // The fragment d2.7.5 itself scores with η⁰ = 1.
+  const Candidate* leaf = FindCandidate(cc, fig_.d2_7_5);
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_NEAR(leaf->static_weight[0], 1.0, 1e-6);
+}
+
+TEST_F(Figure1ConnectionsTest, TagCreatesRelatedToConnection) {
+  // u4's tag on d0.5.1 connects d0 to "university" with source u4
+  // (paper's example in §3.2).
+  ConnectionBuilder b(*inst_, 0.5);
+  auto cc = b.Build(CompOf(fig_.d0_root),
+                    SingleKeyword(fig_.kw_university));
+  const Candidate* d0 = FindCandidate(cc, fig_.d0_root);
+  ASSERT_NE(d0, nullptr);
+  bool u4_source = false;
+  for (const auto& [src, w] : d0->sources[0]) {
+    if (src == inst_->RowOfUser(fig_.u4)) u4_source = true;
+  }
+  EXPECT_TRUE(u4_source);
+}
+
+TEST_F(Figure1ConnectionsTest, CommentCarriesSourceToAncestors) {
+  // d2 comments on d0.3.2 and contains "university" => d0 is connected
+  // to "university" through (commentsOn, d0.3.2, d2).
+  ConnectionBuilder b(*inst_, 0.5);
+  auto cc = b.Build(CompOf(fig_.d0_root),
+                    SingleKeyword(fig_.kw_university));
+  const Candidate* d0 = FindCandidate(cc, fig_.d0_root);
+  ASSERT_NE(d0, nullptr);
+  bool d2_source = false;
+  for (const auto& [src, w] : d0->sources[0]) {
+    if (src == inst_->RowOfFragment(fig_.d2_root)) d2_source = true;
+  }
+  EXPECT_TRUE(d2_source);
+}
+
+TEST_F(Figure1ConnectionsTest, SemanticExtensionFindsMsViaDegree) {
+  // Ext(degree) ∋ m.s.; d1 contains "m.s." so querying "degree" reaches
+  // d1 (the paper's flagship example).
+  QueryExtension ext(1);
+  for (KeywordId k : inst_->ExtendKeyword(fig_.kw_degree)) {
+    ext[0].insert(k);
+  }
+  ConnectionBuilder b(*inst_, 0.5);
+  auto cc = b.Build(CompOf(fig_.d1_root), ext);
+  EXPECT_NE(FindCandidate(cc, fig_.d1_root), nullptr);
+
+  // Without the extension, d1 does not match "degree".
+  ConnectionBuilder b2(*inst_, 0.5);
+  auto cc2 =
+      b2.Build(CompOf(fig_.d1_root), SingleKeyword(fig_.kw_degree));
+  EXPECT_EQ(FindCandidate(cc2, fig_.d1_root), nullptr);
+}
+
+TEST_F(Figure1ConnectionsTest, DisjointFragmentsDontMatchTogether) {
+  // A query for {university, opportun}: "opportun" is only in d0.3.2.
+  // d0.5.1 (tagged "university") does not cover "opportun", so it is
+  // not a candidate; d0.3.2 covers both ("university" arrives through
+  // the comment d2 on it); the root covers both.
+  QueryExtension ext(2);
+  ext[0].insert(fig_.kw_university);
+  ext[1].insert(inst_->vocabulary().Find("opportun"));
+  ConnectionBuilder b(*inst_, 0.5);
+  auto cc = b.Build(CompOf(fig_.d0_root), ext);
+  EXPECT_NE(FindCandidate(cc, fig_.d0_root), nullptr);
+  EXPECT_NE(FindCandidate(cc, fig_.d0_3_2), nullptr);
+  EXPECT_EQ(FindCandidate(cc, fig_.d0_5_1), nullptr);
+  EXPECT_EQ(FindCandidate(cc, fig_.d0_5), nullptr);
+}
+
+TEST_F(Figure1ConnectionsTest, CapIsProductOfStaticWeights) {
+  QueryExtension ext(2);
+  ext[0].insert(fig_.kw_university);
+  ext[1].insert(inst_->vocabulary().Find("opportun"));
+  ConnectionBuilder b(*inst_, 0.5);
+  auto cc = b.Build(CompOf(fig_.d0_root), ext);
+  for (const Candidate& c : cc.candidates) {
+    EXPECT_NEAR(c.cap, c.static_weight[0] * c.static_weight[1], 1e-9);
+    EXPECT_LE(c.cap, cc.max_cap + 1e-12);
+  }
+}
+
+// ---- Endorsements and higher-level tags -----------------------------------
+
+class EndorsementTest : public ::testing::Test {
+ protected:
+  // d0 contains "alpha" in its child; u1 endorses the child fragment.
+  void Build(bool keyword_in_doc) {
+    inst_ = std::make_unique<S3Instance>();
+    u0_ = inst_->AddUser("u0");
+    u1_ = inst_->AddUser("u1");
+    kw_ = inst_->InternKeyword("alpha");
+    doc::Document d("doc");
+    uint32_t child = d.AddChild(0, "par");
+    if (keyword_in_doc) d.AddKeywords(child, {kw_});
+    d0_ = inst_->AddDocument(std::move(d), "d0", u0_).value();
+    child_node_ = inst_->docs().GlobalId(d0_, 1);
+    endorsement_ =
+        inst_->AddTagOnFragment(u1_, child_node_, kInvalidKeyword)
+            .value();
+    ASSERT_TRUE(inst_->Finalize().ok());
+  }
+
+  std::unique_ptr<S3Instance> inst_;
+  social::UserId u0_ = 0, u1_ = 0;
+  KeywordId kw_ = 0;
+  doc::DocId d0_ = 0;
+  doc::NodeId child_node_ = 0;
+  social::TagId endorsement_ = 0;
+};
+
+TEST_F(EndorsementTest, EndorserBecomesSourceWhenGrounded) {
+  Build(/*keyword_in_doc=*/true);
+  ConnectionBuilder b(*inst_, 0.5);
+  auto cc = b.Build(inst_->components().Of(EntityId::Fragment(child_node_)),
+                    SingleKeyword(kw_));
+  const Candidate* root =
+      FindCandidate(cc, inst_->docs().RootNode(d0_));
+  ASSERT_NE(root, nullptr);
+  bool endorser_source = false;
+  for (const auto& [src, w] : root->sources[0]) {
+    if (src == inst_->RowOfUser(u1_)) endorser_source = true;
+  }
+  EXPECT_TRUE(endorser_source);
+}
+
+TEST_F(EndorsementTest, UngroundedEndorsementContributesNothing) {
+  Build(/*keyword_in_doc=*/false);
+  ConnectionBuilder b(*inst_, 0.5);
+  auto cc = b.Build(inst_->components().Of(EntityId::Fragment(child_node_)),
+                    SingleKeyword(kw_));
+  EXPECT_TRUE(cc.candidates.empty());
+}
+
+TEST(HigherLevelTagTest, TagOnTagPropagatesToFragment) {
+  // u1 tags d0's root with "alpha"; u2 tags that tag with "alpha" too.
+  // Both authors become sources on the fragment (requirement R4).
+  S3Instance inst;
+  auto u0 = inst.AddUser("u0");
+  auto u1 = inst.AddUser("u1");
+  auto u2 = inst.AddUser("u2");
+  KeywordId kw = inst.InternKeyword("alpha");
+  doc::Document d("doc");
+  doc::DocId d0 = inst.AddDocument(std::move(d), "d0", u0).value();
+  doc::NodeId root = inst.docs().RootNode(d0);
+  social::TagId t1 = inst.AddTagOnFragment(u1, root, kw).value();
+  (void)inst.AddTagOnTag(u2, t1, kw).value();
+  ASSERT_TRUE(inst.Finalize().ok());
+
+  ConnectionBuilder b(inst, 0.5);
+  auto cc = b.Build(inst.components().Of(EntityId::Fragment(root)),
+                    SingleKeyword(kw));
+  const Candidate* c = FindCandidate(cc, root);
+  ASSERT_NE(c, nullptr);
+  std::vector<uint32_t> sources;
+  for (const auto& [src, w] : c->sources[0]) sources.push_back(src);
+  EXPECT_NE(std::find(sources.begin(), sources.end(), inst.RowOfUser(u1)),
+            sources.end());
+  EXPECT_NE(std::find(sources.begin(), sources.end(), inst.RowOfUser(u2)),
+            sources.end());
+}
+
+TEST(CommentChainTest, SourcesPropagateThroughCommentChains) {
+  // c2 comments on c1, c1 comments on d0; c2 contains the keyword.
+  // d0 must be connected with c2's root as source.
+  S3Instance inst;
+  auto u = inst.AddUser("u");
+  KeywordId kw = inst.InternKeyword("alpha");
+  doc::Document d("doc");
+  doc::DocId d0 = inst.AddDocument(std::move(d), "d0", u).value();
+  doc::Document c1doc("comment");
+  doc::DocId c1 = inst.AddDocument(std::move(c1doc), "c1", u).value();
+  doc::Document c2doc("comment");
+  c2doc.AddKeywords(0, {kw});
+  doc::DocId c2 = inst.AddDocument(std::move(c2doc), "c2", u).value();
+  ASSERT_TRUE(inst.AddComment(c1, inst.docs().RootNode(d0)).ok());
+  ASSERT_TRUE(inst.AddComment(c2, inst.docs().RootNode(c1)).ok());
+  ASSERT_TRUE(inst.Finalize().ok());
+
+  ConnectionBuilder b(inst, 0.5);
+  auto cc = b.Build(
+      inst.components().Of(EntityId::Fragment(inst.docs().RootNode(d0))),
+      SingleKeyword(kw));
+  const Candidate* cand = FindCandidate(cc, inst.docs().RootNode(d0));
+  ASSERT_NE(cand, nullptr);
+  bool c2_source = false;
+  for (const auto& [src, w] : cand->sources[0]) {
+    if (src == inst.RowOfFragment(inst.docs().RootNode(c2))) {
+      c2_source = true;
+    }
+  }
+  EXPECT_TRUE(c2_source);
+}
+
+TEST(ConnectionDedupTest, TwoExtensionMatchesOneContainsTuple) {
+  // A fragment containing two members of Ext(k) yields ONE contains
+  // tuple (con is a set keyed on (type, f, src)).
+  S3Instance inst;
+  auto u = inst.AddUser("u");
+  KeywordId k_deg = inst.InternKeyword("degree");
+  KeywordId k_ms = inst.InternKeyword("m.s.");
+  KeywordId k_ba = inst.InternKeyword("b.a.");
+  inst.DeclareSubClass("m.s.", "degree");
+  inst.DeclareSubClass("b.a.", "degree");
+  doc::Document d("doc");
+  d.AddKeywords(0, {k_ms, k_ba});
+  doc::DocId d0 = inst.AddDocument(std::move(d), "d0", u).value();
+  ASSERT_TRUE(inst.Finalize().ok());
+
+  QueryExtension ext(1);
+  for (KeywordId k : inst.ExtendKeyword(k_deg)) ext[0].insert(k);
+  ConnectionBuilder b(inst, 0.5);
+  auto cc = b.Build(
+      inst.components().Of(EntityId::Fragment(inst.docs().RootNode(d0))),
+      ext);
+  const Candidate* cand = FindCandidate(cc, inst.docs().RootNode(d0));
+  ASSERT_NE(cand, nullptr);
+  EXPECT_NEAR(cand->static_weight[0], 1.0, 1e-9);  // one tuple, η⁰
+}
+
+}  // namespace
+}  // namespace s3::core

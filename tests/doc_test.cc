@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "doc/dewey.h"
+#include "doc/document.h"
+#include "doc/document_store.h"
+#include "doc/inverted_index.h"
+
+namespace s3::doc {
+namespace {
+
+// ---- DeweyId ---------------------------------------------------------------
+
+TEST(DeweyTest, RootProperties) {
+  DeweyId root;
+  EXPECT_EQ(root.depth(), 0u);
+  EXPECT_EQ(root.ToString(), "");
+}
+
+TEST(DeweyTest, ChildPath) {
+  DeweyId d = DeweyId().Child(3).Child(2);
+  EXPECT_EQ(d.depth(), 2u);
+  EXPECT_EQ(d.ToString(), "3.2");
+}
+
+TEST(DeweyTest, AncestorPrefixTest) {
+  DeweyId root;
+  DeweyId d3 = root.Child(3);
+  DeweyId d32 = d3.Child(2);
+  DeweyId d5 = root.Child(5);
+  EXPECT_TRUE(root.IsAncestorOrSelf(d32));
+  EXPECT_TRUE(d3.IsAncestorOrSelf(d32));
+  EXPECT_TRUE(d32.IsAncestorOrSelf(d32));
+  EXPECT_FALSE(d32.IsAncestorOrSelf(d3));
+  EXPECT_FALSE(d5.IsAncestorOrSelf(d32));
+}
+
+TEST(DeweyTest, ComparableIsSymmetricVerticality) {
+  DeweyId root;
+  DeweyId a = root.Child(1);
+  DeweyId ab = a.Child(1);
+  DeweyId c = root.Child(2);
+  EXPECT_TRUE(a.Comparable(ab));
+  EXPECT_TRUE(ab.Comparable(a));
+  // Paper Fig. 3: URI0.0.0 and URI0.1 are NOT vertical neighbors.
+  EXPECT_FALSE(ab.Comparable(c));
+}
+
+TEST(DeweyTest, RelativePath) {
+  DeweyId root;
+  DeweyId d32 = root.Child(3).Child(2);
+  auto rel = root.RelativePath(d32);
+  ASSERT_EQ(rel.size(), 2u);
+  EXPECT_EQ(rel[0], 3u);
+  EXPECT_EQ(rel[1], 2u);
+}
+
+TEST(DeweyTest, DocumentOrder) {
+  DeweyId root;
+  EXPECT_LT(root, root.Child(1));
+  EXPECT_LT(root.Child(1).Child(2), root.Child(1).Child(2).Child(1));
+  EXPECT_LT(root.Child(1).Child(2), root.Child(1).Child(3));
+}
+
+// ---- Document ----------------------------------------------------------------
+
+TEST(DocumentTest, RootOnly) {
+  Document d("article");
+  EXPECT_EQ(d.NodeCount(), 1u);
+  EXPECT_EQ(d.node(0).name, "article");
+  EXPECT_EQ(d.Parent(0), UINT32_MAX);
+}
+
+TEST(DocumentTest, ChildrenGetSequentialDeweySteps) {
+  Document d("r");
+  uint32_t a = d.AddChild(0, "a");
+  uint32_t b = d.AddChild(0, "b");
+  uint32_t aa = d.AddChild(a, "aa");
+  EXPECT_EQ(d.node(a).dewey.ToString(), "1");
+  EXPECT_EQ(d.node(b).dewey.ToString(), "2");
+  EXPECT_EQ(d.node(aa).dewey.ToString(), "1.1");
+}
+
+TEST(DocumentTest, AncestorsNearestFirst) {
+  Document d("r");
+  uint32_t a = d.AddChild(0, "a");
+  uint32_t aa = d.AddChild(a, "aa");
+  auto anc = d.Ancestors(aa);
+  ASSERT_EQ(anc.size(), 2u);
+  EXPECT_EQ(anc[0], a);
+  EXPECT_EQ(anc[1], 0u);
+}
+
+TEST(DocumentTest, DescendantsPreorder) {
+  Document d("r");
+  uint32_t a = d.AddChild(0, "a");
+  uint32_t b = d.AddChild(0, "b");
+  uint32_t aa = d.AddChild(a, "aa");
+  auto desc = d.Descendants(0);
+  ASSERT_EQ(desc.size(), 3u);
+  EXPECT_EQ(desc[0], a);
+  EXPECT_EQ(desc[1], aa);
+  EXPECT_EQ(desc[2], b);
+}
+
+TEST(DocumentTest, PosLength) {
+  Document d("r");
+  uint32_t a = d.AddChild(0, "a");
+  uint32_t aa = d.AddChild(a, "aa");
+  EXPECT_EQ(d.PosLength(0, aa), 2u);
+  EXPECT_EQ(d.PosLength(a, aa), 1u);
+  EXPECT_EQ(d.PosLength(aa, aa), 0u);
+}
+
+TEST(DocumentTest, KeywordsAccumulate) {
+  Document d("r");
+  d.AddKeywords(0, {1, 2});
+  d.AddKeywords(0, {3});
+  EXPECT_EQ(d.node(0).keywords.size(), 3u);
+}
+
+// ---- DocumentStore --------------------------------------------------------------
+
+class StoreTest : public ::testing::Test {
+ protected:
+  DocumentStore store_;
+
+  DocId AddSimpleDoc(const std::string& uri) {
+    Document d("r");
+    uint32_t a = d.AddChild(0, "a");
+    d.AddChild(a, "aa");
+    d.AddChild(0, "b");
+    return store_.AddDocument(std::move(d), uri).value();
+  }
+};
+
+TEST_F(StoreTest, GlobalIdsAndUris) {
+  DocId d = AddSimpleDoc("d0");
+  EXPECT_EQ(store_.DocumentCount(), 1u);
+  EXPECT_EQ(store_.NodeCount(), 4u);
+  NodeId root = store_.RootNode(d);
+  EXPECT_EQ(store_.Uri(root), "d0");
+  // Child URIs carry the Dewey path, like the paper's d0.3.2.
+  EXPECT_EQ(store_.Uri(store_.GlobalId(d, 1)), "d0.1");
+  EXPECT_EQ(store_.Uri(store_.GlobalId(d, 2)), "d0.1.1");
+  EXPECT_EQ(store_.Uri(store_.GlobalId(d, 3)), "d0.2");
+}
+
+TEST_F(StoreTest, FindByUri) {
+  AddSimpleDoc("d0");
+  EXPECT_TRUE(store_.FindByUri("d0.1.1").ok());
+  EXPECT_FALSE(store_.FindByUri("d0.9").ok());
+}
+
+TEST_F(StoreTest, DuplicateUriRejected) {
+  AddSimpleDoc("d0");
+  Document d("r");
+  auto result = store_.AddDocument(std::move(d), "d0");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(StoreTest, VerticalNeighbors) {
+  DocId d = AddSimpleDoc("d0");
+  NodeId root = store_.RootNode(d);
+  NodeId a = store_.GlobalId(d, 1);
+  NodeId aa = store_.GlobalId(d, 2);
+  NodeId b = store_.GlobalId(d, 3);
+  // Root's vertical neighbors: all its fragments.
+  auto vn = store_.VerticalNeighbors(root);
+  EXPECT_EQ(vn.size(), 3u);
+  // aa's vertical neighbors: ancestors a, root — not b.
+  EXPECT_TRUE(store_.AreVerticalNeighbors(aa, a));
+  EXPECT_TRUE(store_.AreVerticalNeighbors(aa, root));
+  EXPECT_FALSE(store_.AreVerticalNeighbors(aa, b));
+  EXPECT_FALSE(store_.AreVerticalNeighbors(aa, aa));
+}
+
+TEST_F(StoreTest, CrossDocumentNeverNeighbors) {
+  DocId d0 = AddSimpleDoc("d0");
+  DocId d1 = AddSimpleDoc("d1");
+  EXPECT_FALSE(store_.AreVerticalNeighbors(store_.RootNode(d0),
+                                           store_.RootNode(d1)));
+}
+
+TEST_F(StoreTest, PosLengthGlobal) {
+  DocId d = AddSimpleDoc("d0");
+  EXPECT_EQ(store_.PosLength(store_.RootNode(d), store_.GlobalId(d, 2)),
+            2u);
+}
+
+TEST_F(StoreTest, NeighborhoodWithSelfIncludesSelf) {
+  DocId d = AddSimpleDoc("d0");
+  NodeId a = store_.GlobalId(d, 1);
+  auto n = store_.NeighborhoodWithSelf(a);
+  EXPECT_NE(std::find(n.begin(), n.end(), a), n.end());
+}
+
+// ---- InvertedIndex --------------------------------------------------------------
+
+TEST(InvertedIndexTest, PostingsAndDf) {
+  DocumentStore store;
+  Document d("r");
+  uint32_t a = d.AddChild(0, "a");
+  d.AddKeywords(a, {7, 8});
+  d.AddKeywords(0, {7});
+  store.AddDocument(std::move(d), "d0").value();
+
+  InvertedIndex idx;
+  idx.Rebuild(store);
+  EXPECT_EQ(idx.DocumentFrequency(7), 2u);
+  EXPECT_EQ(idx.DocumentFrequency(8), 1u);
+  EXPECT_EQ(idx.DocumentFrequency(99), 0u);
+  EXPECT_EQ(idx.KeywordCount(), 2u);
+}
+
+TEST(InvertedIndexTest, DuplicateKeywordInNodeCountedOnce) {
+  DocumentStore store;
+  Document d("r");
+  d.AddKeywords(0, {5, 5, 5});
+  store.AddDocument(std::move(d), "d0").value();
+  InvertedIndex idx;
+  idx.Rebuild(store);
+  EXPECT_EQ(idx.DocumentFrequency(5), 1u);
+}
+
+TEST(InvertedIndexTest, RebuildResets) {
+  DocumentStore store;
+  Document d("r");
+  d.AddKeywords(0, {1});
+  store.AddDocument(std::move(d), "d0").value();
+  InvertedIndex idx;
+  idx.Rebuild(store);
+  idx.Rebuild(store);
+  EXPECT_EQ(idx.DocumentFrequency(1), 1u);
+}
+
+}  // namespace
+}  // namespace s3::doc

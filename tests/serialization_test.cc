@@ -1,0 +1,153 @@
+// Round-trip tests for the instance serializer.
+#include <gtest/gtest.h>
+
+#include "core/s3k.h"
+#include "core/serialization.h"
+#include "test_fixtures.h"
+#include "workload/instance_stats.h"
+
+namespace s3::core {
+namespace {
+
+// Saves, reloads, finalizes, and checks the population matches.
+std::unique_ptr<S3Instance> RoundTrip(const S3Instance& original) {
+  std::string blob = SaveInstance(original);
+  auto loaded = LoadInstance(blob);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  if (!loaded.ok()) return nullptr;
+  EXPECT_TRUE((*loaded)->Finalize().ok());
+  return std::move(*loaded);
+}
+
+TEST(SerializationTest, EmptyInstance) {
+  S3Instance inst;
+  auto loaded = RoundTrip(inst);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->UserCount(), 0u);
+  EXPECT_EQ(loaded->docs().DocumentCount(), 0u);
+}
+
+TEST(SerializationTest, Figure3PopulationPreserved) {
+  auto fig = s3::testing::BuildFigure3();
+  auto loaded = RoundTrip(*fig.instance);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->UserCount(), fig.instance->UserCount());
+  EXPECT_EQ(loaded->TagCount(), fig.instance->TagCount());
+  EXPECT_EQ(loaded->docs().DocumentCount(),
+            fig.instance->docs().DocumentCount());
+  EXPECT_EQ(loaded->docs().NodeCount(), fig.instance->docs().NodeCount());
+  EXPECT_EQ(loaded->edges().size(), fig.instance->edges().size());
+  EXPECT_EQ(loaded->vocabulary().size(),
+            fig.instance->vocabulary().size());
+  // URIs survive.
+  EXPECT_TRUE(loaded->docs().FindByUri("URI0.1.1").ok());
+}
+
+TEST(SerializationTest, Figure1QueriesIdenticalAfterReload) {
+  auto fig = s3::testing::BuildFigure1();
+  auto loaded = RoundTrip(*fig.instance);
+  ASSERT_NE(loaded, nullptr);
+
+  S3kOptions opts;
+  opts.k = 5;
+  Query q{fig.u1, {fig.kw_degree}};
+  auto before = S3kSearcher(*fig.instance, opts).Search(q);
+  auto after = S3kSearcher(*loaded, opts).Search(q);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(before->size(), after->size());
+  for (size_t i = 0; i < before->size(); ++i) {
+    EXPECT_EQ((*before)[i].node, (*after)[i].node);
+    EXPECT_NEAR((*before)[i].lower, (*after)[i].lower, 1e-12);
+    EXPECT_NEAR((*before)[i].upper, (*after)[i].upper, 1e-12);
+  }
+}
+
+TEST(SerializationTest, RandomInstancesRoundTrip) {
+  for (uint64_t seed : {31ull, 32ull, 33ull}) {
+    s3::testing::RandomInstanceParams p;
+    p.seed = seed;
+    auto ri = s3::testing::BuildRandomInstance(p);
+    auto loaded = RoundTrip(*ri.instance);
+    ASSERT_NE(loaded, nullptr) << "seed " << seed;
+
+    workload::InstanceStats a = workload::ComputeStats(*ri.instance);
+    workload::InstanceStats b = workload::ComputeStats(*loaded);
+    EXPECT_EQ(a.users, b.users) << seed;
+    EXPECT_EQ(a.documents, b.documents) << seed;
+    EXPECT_EQ(a.tags, b.tags) << seed;
+    EXPECT_EQ(a.social_edges, b.social_edges) << seed;
+    EXPECT_EQ(a.network_edges, b.network_edges) << seed;
+    EXPECT_EQ(a.keyword_occurrences, b.keyword_occurrences) << seed;
+    EXPECT_EQ(a.components, b.components) << seed;
+    EXPECT_EQ(a.rdf_triples, b.rdf_triples) << seed;
+
+    // Query equivalence on a few probes.
+    S3kOptions opts;
+    opts.k = 4;
+    for (KeywordId k : ri.keywords) {
+      Query q{0, {k}};
+      auto r1 = S3kSearcher(*ri.instance, opts).Search(q);
+      auto r2 = S3kSearcher(*loaded, opts).Search(q);
+      ASSERT_TRUE(r1.ok());
+      ASSERT_TRUE(r2.ok());
+      ASSERT_EQ(r1->size(), r2->size()) << seed;
+      for (size_t i = 0; i < r1->size(); ++i) {
+        EXPECT_EQ((*r1)[i].node, (*r2)[i].node) << seed;
+      }
+    }
+  }
+}
+
+TEST(SerializationTest, EscapedSpellings) {
+  S3Instance inst;
+  auto u = inst.AddUser("user with space");
+  KeywordId kw = inst.InternKeyword("two words");
+  doc::Document d("name with space");
+  d.AddKeywords(0, {kw});
+  (void)inst.AddDocument(std::move(d), "uri with space", u).value();
+  auto loaded = RoundTrip(inst);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->users()[0].uri, "user with space");
+  EXPECT_EQ(loaded->vocabulary().Spelling(kw), "two words");
+  EXPECT_TRUE(loaded->docs().FindByUri("uri with space").ok());
+  EXPECT_EQ(loaded->docs().node(0).name, "name with space");
+}
+
+TEST(SerializationTest, WeightedRdfSurvives) {
+  S3Instance inst;
+  inst.AddUser("a");
+  inst.AddUser("b");
+  inst.DeclareSubProperty("sim", "S3:social");
+  inst.rdf_graph().Add(inst.terms().InternUri("a"),
+                       inst.terms().InternUri("sim"),
+                       inst.terms().InternUri("b"), 0.25);
+  auto loaded = RoundTrip(inst);
+  ASSERT_NE(loaded, nullptr);
+  // The RDF-declared social edge is imported on Finalize of the copy.
+  EXPECT_EQ(loaded->rdf_social_edges(), 1u);
+}
+
+TEST(SerializationTest, MalformedInputsRejected) {
+  EXPECT_FALSE(LoadInstance("not a header\n").ok());
+  EXPECT_FALSE(LoadInstance("S3 v1\nBOGUS x\n").ok());
+  EXPECT_FALSE(LoadInstance("S3 v1\nSOCIAL 0 1 0.5\n").ok());  // no users
+  EXPECT_FALSE(
+      LoadInstance("S3 v1\nUSER u\nDOC d 0 2\nN - root\n").ok());
+  // node count mismatch
+  EXPECT_FALSE(
+      LoadInstance("S3 v1\nUSER u\nN - orphan\n").ok());
+}
+
+TEST(SerializationTest, HeaderAndSectionsPresent) {
+  auto fig = s3::testing::BuildFigure3();
+  std::string blob = SaveInstance(*fig.instance);
+  EXPECT_EQ(blob.rfind("S3 v1\n", 0), 0u);
+  EXPECT_NE(blob.find("\nUSER "), std::string::npos);
+  EXPECT_NE(blob.find("\nDOC "), std::string::npos);
+  EXPECT_NE(blob.find("\nTAGF "), std::string::npos);
+  EXPECT_NE(blob.find("\nRDF\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace s3::core

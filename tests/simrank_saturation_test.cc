@@ -1,0 +1,193 @@
+// Tests for the §3.4 alternative proximity (SimRank) and the
+// incremental saturation API.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rdf/saturation.h"
+#include "rdf/vocab.h"
+#include "social/simrank.h"
+
+namespace s3 {
+namespace {
+
+// ---- SimRank ------------------------------------------------------------
+
+using social::EdgeLabel;
+using social::EdgeStore;
+using social::EntityId;
+using social::SimRank;
+using social::SimRankOptions;
+
+TEST(SimRankTest, SelfSimilarityIsOne) {
+  EdgeStore edges;
+  edges.Add(EntityId::User(0), EntityId::User(1), EdgeLabel::kSocial, 1.0);
+  SimRank sr;
+  sr.Compute(edges, 3);
+  for (uint32_t u = 0; u < 3; ++u) {
+    EXPECT_DOUBLE_EQ(sr.Similarity(u, u), 1.0);
+  }
+}
+
+TEST(SimRankTest, NoSharedContextMeansZero) {
+  // 0 -> 1, 2 -> 3: users 1 and 3 have unrelated in-neighbors with
+  // zero similarity; no mass ever flows.
+  EdgeStore edges;
+  edges.Add(EntityId::User(0), EntityId::User(1), EdgeLabel::kSocial, 1.0);
+  edges.Add(EntityId::User(2), EntityId::User(3), EdgeLabel::kSocial, 1.0);
+  SimRank sr;
+  sr.Compute(edges, 4);
+  EXPECT_DOUBLE_EQ(sr.Similarity(1, 3), 0.0);
+  EXPECT_DOUBLE_EQ(sr.Similarity(0, 2), 0.0);
+}
+
+TEST(SimRankTest, CommonInNeighborGivesDecay) {
+  // 0 -> 1 and 0 -> 2: s(1,2) = C·s(0,0) = C.
+  EdgeStore edges;
+  edges.Add(EntityId::User(0), EntityId::User(1), EdgeLabel::kSocial, 1.0);
+  edges.Add(EntityId::User(0), EntityId::User(2), EdgeLabel::kSocial, 1.0);
+  SimRank sr;
+  SimRankOptions opts;
+  opts.decay = 0.8;
+  sr.Compute(edges, 3, opts);
+  EXPECT_NEAR(sr.Similarity(1, 2), 0.8, 1e-12);
+}
+
+TEST(SimRankTest, Symmetric) {
+  EdgeStore edges;
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    uint32_t a = static_cast<uint32_t>(rng.Uniform(8));
+    uint32_t b = static_cast<uint32_t>(rng.Uniform(8));
+    if (a != b) {
+      edges.Add(EntityId::User(a), EntityId::User(b), EdgeLabel::kSocial,
+                1.0);
+    }
+  }
+  SimRank sr;
+  sr.Compute(edges, 8);
+  for (uint32_t a = 0; a < 8; ++a) {
+    for (uint32_t b = 0; b < 8; ++b) {
+      EXPECT_DOUBLE_EQ(sr.Similarity(a, b), sr.Similarity(b, a));
+    }
+  }
+}
+
+TEST(SimRankTest, ScoresBounded) {
+  EdgeStore edges;
+  Rng rng(6);
+  for (int i = 0; i < 60; ++i) {
+    uint32_t a = static_cast<uint32_t>(rng.Uniform(10));
+    uint32_t b = static_cast<uint32_t>(rng.Uniform(10));
+    if (a != b) {
+      edges.Add(EntityId::User(a), EntityId::User(b), EdgeLabel::kSocial,
+                0.5);
+    }
+  }
+  SimRank sr;
+  sr.Compute(edges, 10);
+  for (uint32_t a = 0; a < 10; ++a) {
+    for (uint32_t b = 0; b < 10; ++b) {
+      EXPECT_GE(sr.Similarity(a, b), 0.0);
+      EXPECT_LE(sr.Similarity(a, b), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(SimRankTest, MoreIterationsRefineMonotonically) {
+  EdgeStore edges;
+  edges.Add(EntityId::User(0), EntityId::User(1), EdgeLabel::kSocial, 1.0);
+  edges.Add(EntityId::User(0), EntityId::User(2), EdgeLabel::kSocial, 1.0);
+  edges.Add(EntityId::User(1), EntityId::User(2), EdgeLabel::kSocial, 1.0);
+  edges.Add(EntityId::User(2), EntityId::User(1), EdgeLabel::kSocial, 1.0);
+  double last = 0.0;
+  for (size_t iters : {1u, 2u, 4u, 8u}) {
+    SimRank sr;
+    SimRankOptions opts;
+    opts.iterations = iters;
+    sr.Compute(edges, 3, opts);
+    EXPECT_GE(sr.Similarity(1, 2), last - 1e-12);
+    last = sr.Similarity(1, 2);
+  }
+}
+
+// ---- Incremental saturation -------------------------------------------------
+
+class IncrementalSaturationTest : public ::testing::Test {
+ protected:
+  rdf::TermDictionary dict_;
+  rdf::TripleStore store_;
+
+  rdf::TermId U(const char* s) { return dict_.InternUri(s); }
+  rdf::TermId type() { return dict_.InternUri(rdf::vocab::kType); }
+  rdf::TermId sc() { return dict_.InternUri(rdf::vocab::kSubClassOf); }
+
+  // Re-saturating from scratch must agree with the incremental path.
+  void ExpectEqualsFromScratch(const rdf::TripleStore& incremental) {
+    rdf::TermDictionary dict2;
+    rdf::TripleStore scratch;
+    // Rebuild with the same term ids by replaying the triples.
+    for (const auto& t : incremental.triples()) {
+      // Terms are shared (same dictionary), so copy directly.
+      scratch.Add(t.subject, t.property, t.object, t.weight);
+    }
+    rdf::Saturate(dict_, scratch);
+    EXPECT_EQ(scratch.size(), incremental.size());
+    for (const auto& t : scratch.triples()) {
+      EXPECT_TRUE(incremental.Contains(t.subject, t.property, t.object));
+    }
+  }
+};
+
+TEST_F(IncrementalSaturationTest, NewInstanceJoinsExistingSchema) {
+  store_.Add(U("ms"), sc(), U("degree"));
+  rdf::Saturate(dict_, store_);
+  auto stats = rdf::SaturateIncremental(
+      dict_, store_, {rdf::Triple{U("mine"), type(), U("ms"), 1.0}});
+  EXPECT_TRUE(store_.Contains(U("mine"), type(), U("degree")));
+  EXPECT_GE(stats.derived_triples, 1u);
+  ExpectEqualsFromScratch(store_);
+}
+
+TEST_F(IncrementalSaturationTest, NewSchemaRetypesOldInstances) {
+  store_.Add(U("mine"), type(), U("ms"));
+  rdf::Saturate(dict_, store_);
+  // The subclass arrives later: existing instances must lift.
+  rdf::SaturateIncremental(
+      dict_, store_, {rdf::Triple{U("ms"), sc(), U("degree"), 1.0}});
+  EXPECT_TRUE(store_.Contains(U("mine"), type(), U("degree")));
+  ExpectEqualsFromScratch(store_);
+}
+
+TEST_F(IncrementalSaturationTest, ChainedDeltas) {
+  rdf::Saturate(dict_, store_);
+  rdf::SaturateIncremental(dict_, store_,
+                           {rdf::Triple{U("a"), sc(), U("b"), 1.0}});
+  rdf::SaturateIncremental(dict_, store_,
+                           {rdf::Triple{U("b"), sc(), U("c"), 1.0}});
+  rdf::SaturateIncremental(dict_, store_,
+                           {rdf::Triple{U("x"), type(), U("a"), 1.0}});
+  EXPECT_TRUE(store_.Contains(U("a"), sc(), U("c")));
+  EXPECT_TRUE(store_.Contains(U("x"), type(), U("c")));
+  ExpectEqualsFromScratch(store_);
+}
+
+TEST_F(IncrementalSaturationTest, DuplicateDeltaIsNoop) {
+  store_.Add(U("a"), sc(), U("b"));
+  rdf::Saturate(dict_, store_);
+  size_t before = store_.size();
+  auto stats = rdf::SaturateIncremental(
+      dict_, store_, {rdf::Triple{U("a"), sc(), U("b"), 1.0}});
+  EXPECT_EQ(store_.size(), before);
+  EXPECT_EQ(stats.derived_triples, 0u);
+}
+
+TEST_F(IncrementalSaturationTest, WeightedDeltaDoesNotFireRules) {
+  store_.Add(U("ms"), sc(), U("degree"));
+  rdf::Saturate(dict_, store_);
+  rdf::SaturateIncremental(
+      dict_, store_, {rdf::Triple{U("x"), type(), U("ms"), 0.5}});
+  EXPECT_FALSE(store_.Contains(U("x"), type(), U("degree")));
+}
+
+}  // namespace
+}  // namespace s3

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace s3 {
+namespace {
+
+// ---- Porter stemmer: classic vectors from Porter's paper ----------------
+
+struct StemCase {
+  const char* in;
+  const char* out;
+};
+
+class PorterParamTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterParamTest, StemsToExpected) {
+  EXPECT_EQ(PorterStem(GetParam().in), GetParam().out)
+      << "input: " << GetParam().in;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PorterVectors, PorterParamTest,
+    ::testing::Values(
+        // Step 1a
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"caress", "caress"}, StemCase{"cats", "cat"},
+        // Step 1b
+        StemCase{"feed", "feed"}, StemCase{"agreed", "agre"},
+        StemCase{"plastered", "plaster"}, StemCase{"bled", "bled"},
+        StemCase{"motoring", "motor"}, StemCase{"sing", "sing"},
+        StemCase{"conflated", "conflat"}, StemCase{"troubled", "troubl"},
+        StemCase{"sized", "size"}, StemCase{"hopping", "hop"},
+        StemCase{"tanned", "tan"}, StemCase{"falling", "fall"},
+        StemCase{"hissing", "hiss"}, StemCase{"fizzed", "fizz"},
+        StemCase{"failing", "fail"}, StemCase{"filing", "file"},
+        // Step 1c
+        StemCase{"happy", "happi"}, StemCase{"sky", "sky"},
+        // Step 2
+        StemCase{"relational", "relat"}, StemCase{"conditional", "condit"},
+        StemCase{"rational", "ration"}, StemCase{"valenci", "valenc"},
+        StemCase{"hesitanci", "hesit"}, StemCase{"digitizer", "digit"},
+        StemCase{"conformabli", "conform"}, StemCase{"radicalli", "radic"},
+        StemCase{"differentli", "differ"}, StemCase{"vileli", "vile"},
+        StemCase{"analogousli", "analog"},
+        StemCase{"vietnamization", "vietnam"},
+        StemCase{"predication", "predic"}, StemCase{"operator", "oper"},
+        StemCase{"feudalism", "feudal"},
+        StemCase{"decisiveness", "decis"},
+        StemCase{"hopefulness", "hope"},
+        StemCase{"callousness", "callous"},
+        StemCase{"formaliti", "formal"}, StemCase{"sensitiviti", "sensit"},
+        StemCase{"sensibiliti", "sensibl"},
+        // Step 3
+        StemCase{"triplicate", "triplic"}, StemCase{"formative", "form"},
+        StemCase{"formalize", "formal"}, StemCase{"electriciti", "electr"},
+        StemCase{"electrical", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"},
+        // Step 4
+        StemCase{"revival", "reviv"}, StemCase{"allowance", "allow"},
+        StemCase{"inference", "infer"}, StemCase{"airliner", "airlin"},
+        StemCase{"gyroscopic", "gyroscop"},
+        StemCase{"adjustable", "adjust"},
+        StemCase{"defensible", "defens"}, StemCase{"irritant", "irrit"},
+        StemCase{"replacement", "replac"},
+        StemCase{"adjustment", "adjust"}, StemCase{"dependent", "depend"},
+        StemCase{"adoption", "adopt"}, StemCase{"homologou", "homolog"},
+        StemCase{"communism", "commun"}, StemCase{"activate", "activ"},
+        StemCase{"angulariti", "angular"}, StemCase{"homologous", "homolog"},
+        StemCase{"effective", "effect"}, StemCase{"bowdlerize", "bowdler"},
+        // Step 5
+        StemCase{"probate", "probat"}, StemCase{"rate", "rate"},
+        StemCase{"cease", "ceas"}, StemCase{"controll", "control"},
+        StemCase{"roll", "roll"}));
+
+TEST(PorterTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("is"), "is");
+  EXPECT_EQ(PorterStem("be"), "be");
+}
+
+TEST(PorterTest, PaperExampleGraduation) {
+  // The paper's stemming example: "graduation" -> "graduate"-family stem.
+  EXPECT_EQ(PorterStem("graduation"), PorterStem("graduate"));
+}
+
+TEST(PorterTest, InflectionsSharedStem) {
+  EXPECT_EQ(PorterStem("universities"), PorterStem("university"));
+  EXPECT_EQ(PorterStem("searching"), PorterStem("searched"));
+  EXPECT_EQ(PorterStem("connections"), PorterStem("connection"));
+}
+
+TEST(PorterTest, Deterministic) {
+  // Porter stemming is not idempotent in general, but it must be a
+  // pure function of its input.
+  for (const char* w :
+       {"relational", "graduation", "universities", "running", "hopping"}) {
+    EXPECT_EQ(PorterStem(w), PorterStem(w)) << w;
+  }
+}
+
+// ---- Stop words ------------------------------------------------------------
+
+TEST(StopwordTest, CommonWordsAreStops) {
+  for (const char* w : {"the", "a", "and", "of", "is", "with"}) {
+    EXPECT_TRUE(IsStopWord(w)) << w;
+  }
+}
+
+TEST(StopwordTest, ContentWordsAreNotStops) {
+  for (const char* w : {"university", "degree", "social", "search"}) {
+    EXPECT_FALSE(IsStopWord(w)) << w;
+  }
+}
+
+TEST(StopwordTest, ListIsNonTrivial) { EXPECT_GT(StopWordCount(), 100u); }
+
+// ---- Tokenizer --------------------------------------------------------------
+
+TEST(TokenizerTest, SplitsOnPunctuation) {
+  auto t = TokenizeWords("Hello, world! How's it going?");
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_EQ(t[0], "Hello");
+  EXPECT_EQ(t[2], "Hows");  // apostrophe stripped
+}
+
+TEST(TokenizerTest, KeepsHashtagsAndMentions) {
+  auto t = TokenizeWords("ping @alice re #University2014");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[1], "@alice");
+  EXPECT_EQ(t[3], "#University2014");
+}
+
+TEST(TokenizerTest, LonePunctuationIgnored) {
+  auto t = TokenizeWords("# @ !!");
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TokenizerTest, PipelineStopsAndStems) {
+  // Paper §2.3: "When I got my M.S. @UAlberta in 2012 ..."
+  auto kws = ExtractKeywords("When I got my M.S. @UAlberta in 2012");
+  // "when"/"i"/"my"/"in" are stop words or short; M.S. -> m + s dropped
+  // by length? No: min_token_length=1 keeps them.
+  EXPECT_NE(std::find(kws.begin(), kws.end(), "@ualberta"), kws.end());
+  EXPECT_NE(std::find(kws.begin(), kws.end(), "2012"), kws.end());
+  EXPECT_EQ(std::find(kws.begin(), kws.end(), "when"), kws.end());
+}
+
+TEST(TokenizerTest, StemmingUnifiesForms) {
+  auto a = ExtractKeywords("university graduates");
+  auto b = ExtractKeywords("universities graduate");
+  EXPECT_EQ(a, b);
+}
+
+TEST(TokenizerTest, MinLengthFilter) {
+  TokenizerOptions opts;
+  opts.min_token_length = 3;
+  auto kws = ExtractKeywords("go to big cities", opts);
+  EXPECT_EQ(std::find(kws.begin(), kws.end(), "go"), kws.end());
+  EXPECT_NE(std::find(kws.begin(), kws.end(), "big"), kws.end());
+}
+
+TEST(TokenizerTest, NoStemOption) {
+  TokenizerOptions opts;
+  opts.stem = false;
+  auto kws = ExtractKeywords("universities", opts);
+  ASSERT_EQ(kws.size(), 1u);
+  EXPECT_EQ(kws[0], "universities");
+}
+
+// ---- Vocabulary ---------------------------------------------------------------
+
+TEST(VocabularyTest, InterningIsIdempotent) {
+  Vocabulary v;
+  KeywordId a = v.Intern("degree");
+  KeywordId b = v.Intern("degree");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(VocabularyTest, IdsAreDense) {
+  Vocabulary v;
+  EXPECT_EQ(v.Intern("a"), 0u);
+  EXPECT_EQ(v.Intern("b"), 1u);
+  EXPECT_EQ(v.Intern("c"), 2u);
+}
+
+TEST(VocabularyTest, FindMissingReturnsInvalid) {
+  Vocabulary v;
+  v.Intern("present");
+  EXPECT_EQ(v.Find("absent"), kInvalidKeyword);
+  EXPECT_NE(v.Find("present"), kInvalidKeyword);
+}
+
+TEST(VocabularyTest, SpellingRoundTrip) {
+  Vocabulary v;
+  KeywordId id = v.Intern("S3:social");
+  EXPECT_EQ(v.Spelling(id), "S3:social");
+}
+
+}  // namespace
+}  // namespace s3
