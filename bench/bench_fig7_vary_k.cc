@@ -1,6 +1,10 @@
 // Figure 7: run-time distribution (min, Q1, median, Q3, max) on I1
 // while varying k ∈ {1, 5, 10, 50}, for f ∈ {+, −}, l = 1, and
 // γ ∈ {1.5, 4}.
+//
+// Besides the table, per-workload medians are recorded to
+// BENCH_fig7.json (override the path with S3_BENCH_OUT) so the perf
+// trajectory of the full-query path is machine-diffable across PRs.
 #include "bench_util.h"
 
 using namespace s3;
@@ -12,6 +16,9 @@ int main() {
               gen.instance->UserCount(),
               gen.instance->docs().DocumentCount(),
               bench::QueriesPerWorkload());
+
+  const char* out_env = std::getenv("S3_BENCH_OUT");
+  bench::BenchJsonWriter json(out_env ? out_env : "BENCH_fig7.json");
 
   eval::TablePrinter table({"workload", "gamma", "min(ms)", "Q1", "median",
                             "Q3", "max"});
@@ -39,6 +46,12 @@ int main() {
                       eval::FormatMillis(q5.median),
                       eval::FormatMillis(q5.q3),
                       eval::FormatMillis(q5.max)});
+        char extra[128];
+        std::snprintf(extra, sizeof(extra),
+                      "\"k\": %zu, \"gamma\": %.2f, \"queries\": %zu", k,
+                      gamma, qs.queries.size());
+        json.Add("Fig7/" + qs.label + (gamma == 1.5 ? "/g1.5" : "/g4"),
+                 q5.median * 1e9, extra);
       }
     }
   }

@@ -1,7 +1,15 @@
 // Micro-benchmarks (google-benchmark) for the substrate components:
 // Porter stemming, RDFS saturation, transition-matrix propagation,
 // component candidate construction, and a full S3k query.
+//
+// Always writes a machine-readable run record: unless --benchmark_out
+// is given, results are mirrored to BENCH_micro.json (ns/op per
+// benchmark) so successive PRs can track the perf trajectory.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/connections.h"
 #include "core/s3k.h"
@@ -123,7 +131,7 @@ BENCHMARK(BM_ComponentCandidates);
 void BM_S3kQuery(benchmark::State& state) {
   auto& bi = SharedInstance();
   core::S3kOptions opts;
-  opts.k = 10;
+  opts.k = static_cast<size_t>(state.range(0));
   core::S3kSearcher searcher(*bi.gen.instance, opts);
   size_t i = 0;
   for (auto _ : state) {
@@ -131,6 +139,28 @@ void BM_S3kQuery(benchmark::State& state) {
     benchmark::DoNotOptimize(r);
   }
 }
-BENCHMARK(BM_S3kQuery);
+BENCHMARK(BM_S3kQuery)->Arg(5)->Arg(10)->Arg(20);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

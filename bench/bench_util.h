@@ -11,7 +11,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "baseline/flatten.h"
 #include "baseline/topks.h"
@@ -38,6 +40,43 @@ inline double Scale() {
 inline uint32_t Scaled(uint32_t base) {
   return static_cast<uint32_t>(base * Scale());
 }
+
+// Machine-readable run record, mirroring google-benchmark's JSON shape
+// ({"benchmarks": [{"name", "ns_per_op", ...}]}), so BENCH_*.json files
+// from the figure harnesses and from bench_micro can be diffed with the
+// same tooling. Records are flushed on destruction.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string path) : path_(std::move(path)) {}
+
+  // One record; `extra` is a pre-rendered list of additional JSON
+  // fields, e.g. "\"k\": 5, \"gamma\": 1.5".
+  void Add(const std::string& name, double ns_per_op,
+           const std::string& extra = "") {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"ns_per_op\": %.1f%s%s}",
+                  name.c_str(), ns_per_op, extra.empty() ? "" : ", ",
+                  extra.c_str());
+    records_.push_back(buf);
+  }
+
+  ~BenchJsonWriter() {
+    std::ofstream out(path_);
+    if (!out) return;
+    out << "{\n  \"benchmarks\": [\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      out << records_[i] << (i + 1 < records_.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::fprintf(stderr, "wrote %s (%zu records)\n", path_.c_str(),
+                 records_.size());
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> records_;
+};
 
 // The three bench instances, mirroring the paper's I1/I2/I3.
 inline workload::GenResult MakeI1() {

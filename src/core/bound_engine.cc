@@ -1,0 +1,216 @@
+#include "core/bound_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace s3::core {
+
+CandidateBoundEngine::CandidateBoundEngine(
+    const doc::DocumentStore& docs, size_t n_keywords, uint32_t total_rows,
+    std::vector<ComponentCandidates>& per_comp)
+    : n_keywords_(n_keywords) {
+  size_t n_cands = 0;
+  size_t n_entries = 0;
+  for (const ComponentCandidates& cc : per_comp) {
+    n_cands += cc.candidates.size();
+    for (const Candidate& c : cc.candidates) {
+      for (const auto& per_kw : c.sources) n_entries += per_kw.size();
+    }
+  }
+
+  node_.reserve(n_cands);
+  comp_slot_.reserve(n_cands);
+  alive_.assign(n_cands, 1);
+  kw_sum_.assign(n_cands * n_keywords_, 0.0);
+  kw_w_.reserve(n_cands * n_keywords_);
+  lower_.assign(n_cands, 0.0);
+  upper_.assign(n_cands, 0.0);
+  slot_cands_.resize(per_comp.size());
+  src_begin_.reserve(n_cands * n_keywords_ + 1);
+  src_begin_.push_back(0);
+  src_rows_.reserve(n_entries);
+  src_w_.reserve(n_entries);
+
+  for (size_t slot = 0; slot < per_comp.size(); ++slot) {
+    for (Candidate& c : per_comp[slot].candidates) {
+      const uint32_t ci = static_cast<uint32_t>(node_.size());
+      slot_cands_[slot].push_back(ci);
+      node_.push_back(c.node);
+      comp_slot_.push_back(static_cast<uint32_t>(slot));
+      for (size_t qi = 0; qi < n_keywords_; ++qi) {
+        double w_total = 0.0;
+        for (const auto& [src, w] : c.sources[qi]) {
+          src_rows_.push_back(src);
+          src_w_.push_back(w);
+          w_total += static_cast<double>(w);
+        }
+        kw_w_.push_back(w_total);
+        src_begin_.push_back(src_rows_.size());
+      }
+      c.sources.clear();
+      c.sources.shrink_to_fit();
+    }
+  }
+
+  // Reverse index by counting sort over source rows.
+  rev_ptr_.assign(static_cast<size_t>(total_rows) + 1, 0);
+  for (uint32_t row : src_rows_) ++rev_ptr_[row + 1];
+  for (uint32_t r = 0; r < total_rows; ++r) rev_ptr_[r + 1] += rev_ptr_[r];
+  rev_sum_.resize(src_rows_.size());
+  rev_w_.resize(src_rows_.size());
+  std::vector<uint64_t> cursor(rev_ptr_.begin(), rev_ptr_.end() - 1);
+  for (size_t sum_idx = 0; sum_idx < n_cands * n_keywords_; ++sum_idx) {
+    for (uint64_t i = src_begin_[sum_idx]; i < src_begin_[sum_idx + 1];
+         ++i) {
+      const uint64_t pos = cursor[src_rows_[i]]++;
+      rev_sum_[pos] = static_cast<uint32_t>(sum_idx);
+      rev_w_[pos] = src_w_[i];
+    }
+  }
+
+  for (uint32_t row = 0; row < total_rows; ++row) {
+    if (rev_ptr_[row + 1] > rev_ptr_[row]) source_rows_.push_back(row);
+  }
+
+  // Doc groups and vertical-neighbor adjacency. Only candidates of the
+  // same document can be vertical neighbors, so group by DocId once and
+  // test ancestry only within groups.
+  std::unordered_map<doc::DocId, std::vector<uint32_t>> by_doc;
+  for (uint32_t ci = 0; ci < n_cands; ++ci) {
+    by_doc[docs.DocOf(node_[ci])].push_back(ci);
+  }
+  std::vector<std::vector<uint32_t>> nbrs(n_cands);
+  for (const auto& [d, group] : by_doc) {
+    if (group.size() < 2) continue;
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        uint32_t a = group[i], b = group[j];
+        if (docs.AreVerticalNeighbors(node_[a], node_[b])) {
+          nbrs[a].push_back(b);
+          nbrs[b].push_back(a);
+          nbr_pairs_.emplace_back(std::min(a, b), std::max(a, b));
+        }
+      }
+    }
+  }
+  std::sort(nbr_pairs_.begin(), nbr_pairs_.end());
+  nbr_begin_.assign(n_cands + 1, 0);
+  for (uint32_t ci = 0; ci < n_cands; ++ci) {
+    nbr_begin_[ci + 1] =
+        nbr_begin_[ci] + static_cast<uint32_t>(nbrs[ci].size());
+  }
+  nbr_list_.reserve(nbr_pairs_.size() * 2);
+  for (uint32_t ci = 0; ci < n_cands; ++ci) {
+    std::sort(nbrs[ci].begin(), nbrs[ci].end());
+    nbr_list_.insert(nbr_list_.end(), nbrs[ci].begin(), nbrs[ci].end());
+  }
+
+  active_.assign(n_cands, 0);
+  active_list_.reserve(n_cands);
+  mark_.assign(n_cands, 0);
+}
+
+void CandidateBoundEngine::ActivateSlot(uint32_t slot) {
+  for (uint32_t ci : slot_cands_[slot]) {
+    if (!active_[ci]) {
+      active_[ci] = 1;
+      active_list_.push_back(ci);
+    }
+  }
+}
+
+void CandidateBoundEngine::RefreshBounds(double tail, ThreadPool* pool) {
+  auto refresh = [&](size_t i) {
+    const uint32_t ci = active_list_[i];
+    if (!alive_[ci]) return;
+    const size_t base = ci * n_keywords_;
+    double lo = 1.0, up = 1.0;
+    for (size_t qi = 0; qi < n_keywords_; ++qi) {
+      const double s = kw_sum_[base + qi];
+      const double w = kw_w_[base + qi];
+      lo *= s;
+      // W caps the sum (prox ≤ 1 per source); max(s, ·) shields the
+      // interval against prox marginally overshooting 1 in floating
+      // point, which would otherwise let upper dip below lower.
+      up *= std::max(s, std::min(w, s + w * tail));
+    }
+    lower_[ci] = lo;
+    upper_[ci] = up;
+  };
+  const size_t n = active_list_.size();
+  if (pool != nullptr && n >= 512) {
+    pool->ParallelFor(n, refresh);
+  } else {
+    for (size_t i = 0; i < n; ++i) refresh(i);
+  }
+}
+
+size_t CandidateBoundEngine::CleanDominated(double epsilon) {
+  size_t killed = 0;
+  auto dominates = [&](uint32_t b, uint32_t a) {
+    return lower_[b] > upper_[a] + epsilon ||
+           (std::abs(lower_[b] - upper_[a]) <= epsilon &&
+            lower_[b] >= upper_[b] - epsilon && node_[b] < node_[a]);
+  };
+  for (const auto& [a, b] : nbr_pairs_) {
+    if (!active_[a] || !active_[b]) continue;
+    if (!alive_[a] || !alive_[b]) continue;
+    if (dominates(b, a)) {
+      alive_[a] = 0;
+      ++killed;
+    } else if (dominates(a, b)) {
+      alive_[b] = 0;
+      ++killed;
+    }
+  }
+  return killed;
+}
+
+bool CandidateBoundEngine::AnyNeighborPair(
+    const std::vector<uint32_t>& order, size_t count) {
+  ++mark_epoch_;
+  for (size_t i = 0; i < count; ++i) mark_[order[i]] = mark_epoch_;
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t ci = order[i];
+    for (uint32_t j = nbr_begin_[ci]; j < nbr_begin_[ci + 1]; ++j) {
+      if (mark_[nbr_list_[j]] == mark_epoch_) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<uint32_t> CandidateBoundEngine::GreedyTopK(
+    const std::vector<uint32_t>& order, size_t k) {
+  std::vector<uint32_t> picked;
+  if (k == 0) return picked;
+  ++mark_epoch_;
+  for (uint32_t ci : order) {
+    if (!alive_[ci]) continue;
+    bool conflict = false;
+    for (uint32_t j = nbr_begin_[ci]; j < nbr_begin_[ci + 1]; ++j) {
+      if (mark_[nbr_list_[j]] == mark_epoch_) {
+        conflict = true;
+        break;
+      }
+    }
+    if (!conflict) {
+      mark_[ci] = mark_epoch_;
+      picked.push_back(ci);
+      if (picked.size() == k) break;
+    }
+  }
+  return picked;
+}
+
+double CandidateBoundEngine::FromScratchKeywordSum(
+    uint32_t ci, size_t qi, const std::vector<double>& prox) const {
+  const size_t sum_idx = ci * n_keywords_ + qi;
+  double s = 0.0;
+  for (uint64_t i = src_begin_[sum_idx]; i < src_begin_[sum_idx + 1]; ++i) {
+    s += static_cast<double>(src_w_[i]) * prox[src_rows_[i]];
+  }
+  return s;
+}
+
+}  // namespace s3::core

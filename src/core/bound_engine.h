@@ -1,0 +1,155 @@
+// Incrementally maintained candidate scoring state for one S3k query
+// (the candidate list of paper Algorithm 2, flattened).
+//
+// Layout. Candidate sources live in one CSR-style struct-of-arrays:
+// for candidate ci and keyword slot qi, the entries
+//   [src_begin_[ci*K+qi], src_begin_[ci*K+qi+1])
+// of src_rows_ / src_w_ are the (source entity row, static weight)
+// pairs that `Candidate::sources` used to hold per candidate. A
+// reverse index (rev_ptr_ over entity rows; rev_sum_/rev_w_) maps a
+// source row back to every per-keyword partial sum it feeds, so an
+// exploration step that adds Δprox to the rows the frontier touched
+// updates only the affected sums — O(affected entries) per step
+// instead of rescanning every source of every active candidate.
+//
+// Maintained invariants (pinned by tests/bound_engine_test.cc):
+//   kw_sum_[ci*K+qi] == Σ_src w(ci,qi,src) · all_prox[src]
+//   lower(ci) == Π_qi kw_sum_[ci*K+qi]
+//   upper(ci) == Π_qi min(W, kw_sum_ + W·tail),  W = kw_w_[ci*K+qi]
+// i.e. exactly the from-scratch CandidateLowerBound /
+// CandidateUpperBound values for the same accumulated proximities.
+// Lower bounds only ever grow (frontier deltas are non-negative) and
+// upper bounds shrink with the shared tail term, so domination kills
+// stay sound forever.
+//
+// The engine also precomputes, once at construction, the structures
+// the per-iteration maintenance passes need:
+//   * doc groups — candidates of the same document, the only ones that
+//     can be vertical neighbors (CleanCandidatesList);
+//   * the vertical-neighbor adjacency between same-document candidates
+//     (CSR nbr_*), replacing per-iteration AreVerticalNeighbors calls
+//     in both the clean pass and the stop-condition top-k check.
+#ifndef S3_CORE_BOUND_ENGINE_H_
+#define S3_CORE_BOUND_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/connections.h"
+#include "doc/document_store.h"
+
+namespace s3::core {
+
+class CandidateBoundEngine {
+ public:
+  // Flattens the candidates of all passing components. `per_comp[i]`
+  // becomes component slot i; candidate source lists are consumed.
+  // `total_rows` is the entity-row count (sizes the reverse index).
+  CandidateBoundEngine(const doc::DocumentStore& docs, size_t n_keywords,
+                       uint32_t total_rows,
+                       std::vector<ComponentCandidates>& per_comp);
+
+  size_t size() const { return node_.size(); }
+  size_t keywords() const { return n_keywords_; }
+
+  doc::NodeId node(uint32_t ci) const { return node_[ci]; }
+  uint32_t comp_slot(uint32_t ci) const { return comp_slot_[ci]; }
+  bool alive(uint32_t ci) const { return alive_[ci] != 0; }
+  double lower(uint32_t ci) const { return lower_[ci]; }
+  double upper(uint32_t ci) const { return upper_[ci]; }
+
+  // Marks component slot `slot` discovered: its candidates join the
+  // active set that RefreshBounds / CleanDominated operate on. Partial
+  // sums are maintained for every candidate from the start (sources
+  // can be reached before their component is discovered), but bound
+  // refresh and domination cleaning are paid only for active ones.
+  void ActivateSlot(uint32_t slot);
+  const std::vector<uint32_t>& ActiveCandidates() const {
+    return active_list_;
+  }
+
+  // Candidates of component slot `slot`, in construction order.
+  const std::vector<uint32_t>& SlotCandidates(uint32_t slot) const {
+    return slot_cands_[slot];
+  }
+
+  // Sorted unique entity rows that feed at least one candidate — the
+  // only rows whose proximity deltas can change any bound. Once the
+  // frontier grows wider than this set, the exploration step folds
+  // deltas by scanning it instead of the frontier.
+  const std::vector<uint32_t>& SourceRows() const { return source_rows_; }
+
+  // Folds one exploration delta (all_prox[row] += delta) into the
+  // partial sums of every (candidate, keyword-slot) fed by `row`.
+  void ApplyDelta(uint32_t row, double delta) {
+    for (uint64_t i = rev_ptr_[row]; i < rev_ptr_[row + 1]; ++i) {
+      kw_sum_[rev_sum_[i]] += static_cast<double>(rev_w_[i]) * delta;
+    }
+  }
+
+  // Recomputes lower/upper for every alive active candidate from the
+  // partial sums and the shared tail term: O(active · keywords), with
+  // no per-source work. `pool` parallelizes large candidate sets.
+  void RefreshBounds(double tail, ThreadPool* pool = nullptr);
+
+  // CleanCandidatesList: kills active candidates dominated by an
+  // active vertical neighbor (same rule as paper §4.2 / the previous
+  // from-scratch implementation). Returns how many were killed.
+  size_t CleanDominated(double epsilon);
+
+  // True if any two of the first `count` candidates in `order` are
+  // vertical neighbors (stop-condition top-k check).
+  bool AnyNeighborPair(const std::vector<uint32_t>& order, size_t count);
+
+  // First k alive candidates of `order` with no two vertical neighbors
+  // (Definition 3.2's answer constraint).
+  std::vector<uint32_t> GreedyTopK(const std::vector<uint32_t>& order,
+                                   size_t k);
+
+  // From-scratch per-keyword sum Σ w · prox[src] over the stored CSR
+  // entries (test hook: validates the incremental kw_sum_ invariant).
+  double FromScratchKeywordSum(uint32_t ci, size_t qi,
+                               const std::vector<double>& prox) const;
+
+ private:
+  size_t n_keywords_;
+
+  // Struct-of-arrays candidate state.
+  std::vector<doc::NodeId> node_;
+  std::vector<uint32_t> comp_slot_;
+  std::vector<uint8_t> alive_;
+  std::vector<uint8_t> active_;
+  std::vector<uint32_t> active_list_;
+  std::vector<double> kw_sum_;   // size() * K incremental partial sums
+  std::vector<double> kw_w_;     // size() * K static weights W
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<std::vector<uint32_t>> slot_cands_;
+
+  // Forward CSR of sources per (candidate, keyword-slot).
+  std::vector<uint64_t> src_begin_;
+  std::vector<uint32_t> src_rows_;
+  std::vector<float> src_w_;
+
+  // Reverse index: entity row -> (partial-sum index, weight).
+  std::vector<uint64_t> rev_ptr_;
+  std::vector<uint32_t> rev_sum_;
+  std::vector<float> rev_w_;
+  std::vector<uint32_t> source_rows_;  // rows with a nonempty rev range
+
+  // Vertical-neighbor adjacency between same-document candidates
+  // (CSR over candidate ids), plus the unique (a < b) pair list the
+  // clean pass scans.
+  std::vector<uint32_t> nbr_begin_;
+  std::vector<uint32_t> nbr_list_;
+  std::vector<std::pair<uint32_t, uint32_t>> nbr_pairs_;
+
+  // Epoch-marking scratch for the neighbor-set membership tests.
+  std::vector<uint32_t> mark_;
+  uint32_t mark_epoch_ = 0;
+};
+
+}  // namespace s3::core
+
+#endif  // S3_CORE_BOUND_ENGINE_H_

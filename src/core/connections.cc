@@ -28,6 +28,16 @@ bool ConnectionBuilder::TagGrounded(social::TagId t, size_t qi,
   Key key{t, static_cast<uint32_t>(qi)};
   auto it = tag_grounded_memo_.find(key);
   if (it != tag_grounded_memo_.end()) return it->second;
+  // Least-fixpoint guard: a tag-on-tag cycle grounds nothing. The API
+  // only builds tag DAGs today, but deserialized or future instances
+  // must not send this recursion into a loop.
+  Key guard{t, static_cast<uint32_t>(qi) | 0x20000000u};
+  if (in_progress_.contains(guard)) {
+    ++guard_hits_;
+    return false;
+  }
+  const size_t hits_before = guard_hits_;
+  in_progress_.insert(guard);
   const Tag& tag = instance_.tags()[t];
   bool grounded = tag.keyword != kInvalidKeyword &&
                   ext[qi].contains(tag.keyword);
@@ -39,7 +49,13 @@ bool ConnectionBuilder::TagGrounded(social::TagId t, size_t qi,
       }
     }
   }
-  tag_grounded_memo_.emplace(key, grounded);
+  in_progress_.erase(guard);
+  // A positive answer is final (the derivation is monotone), but a
+  // negative one computed while a guard suppressed a dependency is only
+  // valid for this call stack — don't cache it.
+  if (grounded || guard_hits_ == hits_before) {
+    tag_grounded_memo_.emplace(key, grounded);
+  }
   return grounded;
 }
 
@@ -50,7 +66,11 @@ bool ConnectionBuilder::FragmentGrounded(doc::NodeId f, size_t qi,
   if (it != frag_grounded_memo_.end()) return it->second;
   // Least-fixpoint guard: a cycle of comments grounds nothing.
   Key guard{f, static_cast<uint32_t>(qi) | 0x40000000u};
-  if (in_progress_.contains(guard)) return false;
+  if (in_progress_.contains(guard)) {
+    ++guard_hits_;
+    return false;
+  }
+  const size_t hits_before = guard_hits_;
   in_progress_.insert(guard);
 
   bool grounded = false;
@@ -83,7 +103,9 @@ bool ConnectionBuilder::FragmentGrounded(doc::NodeId f, size_t qi,
     if (grounded) break;
   }
   in_progress_.erase(guard);
-  frag_grounded_memo_.emplace(key, grounded);
+  if (grounded || guard_hits_ == hits_before) {
+    frag_grounded_memo_.emplace(key, grounded);
+  }
   return grounded;
 }
 
@@ -92,6 +114,16 @@ const std::unordered_set<uint32_t>& ConnectionBuilder::TagSources(
   Key key{t, static_cast<uint32_t>(qi)};
   auto it = tag_memo_.find(key);
   if (it != tag_memo_.end()) return it->second;
+  // Cycle guard for tag-on-tag loops: contribute nothing on re-entry
+  // (mirrors the DocSources comment-loop guard).
+  Key guard{t, static_cast<uint32_t>(qi) | 0x10000000u};
+  static const std::unordered_set<uint32_t> kEmpty;
+  if (in_progress_.contains(guard)) {
+    ++guard_hits_;
+    return kEmpty;
+  }
+  const size_t hits_before = guard_hits_;
+  in_progress_.insert(guard);
 
   std::unordered_set<uint32_t> sources;
   const Tag& tag = instance_.tags()[t];
@@ -117,6 +149,15 @@ const std::unordered_set<uint32_t>& ConnectionBuilder::TagSources(
     const auto& sub = TagSources(b, qi, ext);
     sources.insert(sub.begin(), sub.end());
   }
+  in_progress_.erase(guard);
+  if (guard_hits_ != hits_before) {
+    // A guard fired below us: `sources` may be missing contributions
+    // from the suppressed dependency and is only valid for this call
+    // stack. Park it in the scratch arena instead of the memo table.
+    scratch_sets_.push_back(
+        std::make_unique<std::unordered_set<uint32_t>>(std::move(sources)));
+    return *scratch_sets_.back();
+  }
   return tag_memo_.emplace(key, std::move(sources)).first->second;
 }
 
@@ -129,8 +170,10 @@ const std::unordered_set<uint32_t>& ConnectionBuilder::DocSources(
   Key guard{root, static_cast<uint32_t>(qi) | 0x80000000u};
   static const std::unordered_set<uint32_t> kEmpty;
   if (in_progress_.contains(guard)) {
+    ++guard_hits_;
     return kEmpty;
   }
+  const size_t hits_before = guard_hits_;
   in_progress_.insert(guard);
 
   std::unordered_set<uint32_t> sources;
@@ -161,6 +204,11 @@ const std::unordered_set<uint32_t>& ConnectionBuilder::DocSources(
     sources.insert(instance_.RowOfFragment(root));
   }
   in_progress_.erase(guard);
+  if (guard_hits_ != hits_before) {
+    scratch_sets_.push_back(
+        std::make_unique<std::unordered_set<uint32_t>>(std::move(sources)));
+    return *scratch_sets_.back();
+  }
   return doc_memo_.emplace(key, std::move(sources)).first->second;
 }
 

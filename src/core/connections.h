@@ -25,6 +25,7 @@
 #define S3_CORE_CONNECTIONS_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -136,7 +137,20 @@ class ConnectionBuilder {
   std::unordered_map<Key, bool, KeyHash> tag_grounded_memo_;
   std::unordered_map<Key, std::unordered_set<uint32_t>, KeyHash> doc_memo_;
   std::unordered_map<Key, bool, KeyHash> frag_grounded_memo_;
+  // Recursion guards (least-fixpoint semantics on comment and tag
+  // cycles). Each recursive derivation namespaces its guard keys with a
+  // distinct high bit in qi (queries have at most 64 keywords):
+  // 0x80000000 DocSources, 0x40000000 FragmentGrounded,
+  // 0x20000000 TagGrounded, 0x10000000 TagSources.
   std::unordered_set<Key, KeyHash> in_progress_;
+  // Counts guard suppressions. A result computed while a guard fired
+  // below it may under-approximate (the cycle member it fed back into
+  // was blanked), so it is only valid for the call stack that produced
+  // it: negative grounded answers are not memoized, and source sets go
+  // to `scratch_sets_` (kept alive for reference stability) instead of
+  // the memo tables.
+  size_t guard_hits_ = 0;
+  std::vector<std::unique_ptr<std::unordered_set<uint32_t>>> scratch_sets_;
 };
 
 }  // namespace s3::core

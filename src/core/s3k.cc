@@ -1,14 +1,13 @@
 #include "core/s3k.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <functional>
 #include <limits>
-#include <thread>
 #include <unordered_map>
 
 #include "common/timer.h"
+#include "core/bound_engine.h"
 #include "social/transition_matrix.h"
 
 namespace s3::core {
@@ -102,28 +101,21 @@ Result<std::vector<ResultEntry>> S3kSearcher::Search(const Query& query,
       },
       /*min_parallel=*/8);
 
-  struct Cand {
-    Candidate data;
-    uint32_t comp_slot;  // index into `passing`
-    double lower = 0.0;
-    double upper = 0.0;
-    bool alive = true;
-  };
-  std::vector<Cand> cands;
-  std::unordered_map<ComponentId, uint32_t> comp_slot_of;
-  std::vector<std::vector<uint32_t>> comp_cands(passing.size());
+  const uint32_t total_rows = instance_.layout().total();
   std::vector<double> comp_cap(passing.size(), 0.0);
   for (size_t i = 0; i < passing.size(); ++i) {
-    comp_slot_of[passing[i]] = static_cast<uint32_t>(i);
     comp_cap[i] = per_comp[i].max_cap;
-    for (Candidate& c : per_comp[i].candidates) {
-      comp_cands[i].push_back(static_cast<uint32_t>(cands.size()));
-      st.candidate_nodes.push_back(c.node);
-      cands.push_back(
-          Cand{std::move(c), static_cast<uint32_t>(i), 0.0, 0.0, true});
-    }
   }
-  st.candidates_total = cands.size();
+
+  // Flat incremental scoring state over all candidates (consumes the
+  // per-component source lists).
+  CandidateBoundEngine engine(instance_.docs(), n_keywords, total_rows,
+                              per_comp);
+  st.candidates_total = engine.size();
+  st.candidate_nodes.reserve(engine.size());
+  for (uint32_t ci = 0; ci < engine.size(); ++ci) {
+    st.candidate_nodes.push_back(engine.node(ci));
+  }
 
   // Component slots ordered by cap (for the unexplored-docs threshold).
   std::vector<uint32_t> slots_by_cap(passing.size());
@@ -131,64 +123,40 @@ Result<std::vector<ResultEntry>> S3kSearcher::Search(const Query& query,
   std::sort(slots_by_cap.begin(), slots_by_cap.end(),
             [&](uint32_t a, uint32_t b) { return comp_cap[a] > comp_cap[b]; });
 
+  // Discovery watch list: the member rows of every passing component,
+  // tagged with their slot. A component is discovered the first time
+  // the frontier holds mass on one of its rows; rows of discovered
+  // slots are compacted away, so the list only shrinks. This replaces
+  // the per-frontier-row component hash lookup of the from-scratch
+  // implementation.
+  std::vector<uint32_t> watch_rows, watch_slots;
+  for (size_t i = 0; i < passing.size(); ++i) {
+    for (uint32_t row : instance_.components().Members(passing[i])) {
+      watch_rows.push_back(row);
+      watch_slots.push_back(static_cast<uint32_t>(i));
+    }
+  }
+
   // ---- 4. Exploration state.
   const social::TransitionMatrix& matrix = instance_.matrix();
-  const uint32_t total_rows = instance_.layout().total();
-  std::vector<double> all_prox(total_rows, 0.0);
   const uint32_t seeker_row = instance_.RowOfUser(query.seeker);
-  all_prox[seeker_row] = c_gamma;  // the empty path
 
   Frontier frontier, next;
   frontier.Init(total_rows);
   next.Init(total_rows);
   frontier.Set(seeker_row, 1.0);
+  engine.ApplyDelta(seeker_row, c_gamma);  // the empty path
 
   std::vector<bool> discovered(passing.size(), false);
-  std::vector<uint32_t> active;  // candidate indices in discovered comps
   size_t n_discovered = 0;
   bool frontier_exhausted = false;
-
-  auto discover_row = [&](uint32_t row) {
-    ComponentId c = instance_.components().OfRow(row);
-    if (c == social::kInvalidComponent) return;
-    auto it = comp_slot_of.find(c);
-    if (it == comp_slot_of.end()) return;
-    uint32_t slot = it->second;
-    if (discovered[slot]) return;
-    discovered[slot] = true;
-    ++n_discovered;
-    for (uint32_t ci : comp_cands[slot]) active.push_back(ci);
-  };
-
-  auto greedy_topk =
-      [&](const std::vector<uint32_t>& order) -> std::vector<uint32_t> {
-    // First k alive candidates in `order` with no two vertical
-    // neighbors (Definition 3.2's answer constraint).
-    std::vector<uint32_t> picked;
-    for (uint32_t ci : order) {
-      if (!cands[ci].alive) continue;
-      bool conflict = false;
-      for (uint32_t pi : picked) {
-        if (instance_.docs().AreVerticalNeighbors(cands[ci].data.node,
-                                                  cands[pi].data.node)) {
-          conflict = true;
-          break;
-        }
-      }
-      if (!conflict) {
-        picked.push_back(ci);
-        if (picked.size() == options_.k) break;
-      }
-    }
-    return picked;
-  };
 
   auto make_result = [&](const std::vector<uint32_t>& picked) {
     std::vector<ResultEntry> out;
     out.reserve(picked.size());
     for (uint32_t ci : picked) {
       out.push_back(
-          ResultEntry{cands[ci].data.node, cands[ci].lower, cands[ci].upper});
+          ResultEntry{engine.node(ci), engine.lower(ci), engine.upper(ci)});
     }
     st.components_discovered = n_discovered;
     st.elapsed_seconds = timer.ElapsedSeconds();
@@ -201,34 +169,54 @@ Result<std::vector<ResultEntry>> S3kSearcher::Search(const Query& query,
     st.iterations = n;
 
     // ExploreStep: border := border · T ; allProx += Cγ · border / γⁿ.
+    // Every row the frontier touches feeds its Δprox to the affected
+    // per-keyword sums through the engine's reverse index — bounds are
+    // never recomputed from the full source lists.
     if (!frontier_exhausted) {
-      if (pool_ != nullptr && frontier.nonzero.size() > total_rows / 8) {
-        matrix.PropagateParallel(frontier, next, *pool_);
-      } else {
-        matrix.Propagate(frontier, next);
-      }
+      matrix.PropagateAdaptive(frontier, next, pool_.get());
       std::swap(frontier, next);
       if (frontier.nonzero.empty()) frontier_exhausted = true;
       const double factor = c_gamma * std::pow(gamma, -static_cast<double>(n));
-      for (uint32_t row : frontier.nonzero) {
-        all_prox[row] += factor * frontier.values[row];
-        discover_row(row);
+      // Fold deltas over the smaller domain: the frontier, or the rows
+      // that actually feed candidates (once the frontier saturates the
+      // graph, the source-row sweep is much narrower).
+      const std::vector<uint32_t>& src_rows = engine.SourceRows();
+      if (frontier.nonzero.size() <= src_rows.size()) {
+        for (uint32_t row : frontier.nonzero) {
+          engine.ApplyDelta(row, factor * frontier.values[row]);
+        }
+      } else {
+        for (uint32_t row : src_rows) {
+          const double v = frontier.values[row];
+          if (v != 0.0) engine.ApplyDelta(row, factor * v);
+        }
+      }
+      // Discovery sweep over the rows of still-undiscovered passing
+      // components; rows of discovered slots are compacted away.
+      if (n_discovered < passing.size()) {
+        size_t w = 0;
+        for (size_t i = 0; i < watch_rows.size(); ++i) {
+          const uint32_t slot = watch_slots[i];
+          if (discovered[slot]) continue;
+          if (frontier.values[watch_rows[i]] != 0.0) {
+            discovered[slot] = true;
+            ++n_discovered;
+            engine.ActivateSlot(slot);
+            continue;
+          }
+          watch_rows[w] = watch_rows[i];
+          watch_slots[w] = slot;
+          ++w;
+        }
+        watch_rows.resize(w);
+        watch_slots.resize(w);
       }
     }
 
     // Bounds. Once the frontier is exhausted there are no longer paths
-    // at all: allProx is exact and the tail is 0.
-    const double tail =
-        frontier_exhausted ? 0.0 : TailBound(gamma, n);
-    parallel_for(
-        active.size(),
-        [&](size_t i) {
-          Cand& c = cands[active[i]];
-          if (!c.alive) return;
-          c.lower = CandidateLowerBound(c.data, all_prox);
-          c.upper = CandidateUpperBound(c.data, all_prox, tail);
-        },
-        /*min_parallel=*/512);
+    // at all: the partial sums are exact and the tail is 0.
+    const double tail = frontier_exhausted ? 0.0 : TailBound(gamma, n);
+    engine.RefreshBounds(tail, pool_.get());
 
     // Threshold: best possible score of any undiscovered document.
     double threshold = 0.0;
@@ -246,70 +234,32 @@ Result<std::vector<ResultEntry>> S3kSearcher::Search(const Query& query,
 
     // CleanCandidatesList: drop candidates dominated by a vertical
     // neighbor (sound forever: lower bounds only grow, uppers only
-    // shrink). Only same-document candidates can be neighbors.
-    std::unordered_map<doc::DocId, std::vector<uint32_t>> by_doc;
-    for (uint32_t ci : active) {
-      if (cands[ci].alive) {
-        by_doc[instance_.docs().DocOf(cands[ci].data.node)].push_back(ci);
-      }
-    }
-    for (auto& [d, list] : by_doc) {
-      if (list.size() < 2) continue;
-      for (uint32_t a : list) {
-        for (uint32_t b : list) {
-          if (a == b || !cands[a].alive || !cands[b].alive) continue;
-          if (!instance_.docs().AreVerticalNeighbors(cands[a].data.node,
-                                                     cands[b].data.node)) {
-            continue;
-          }
-          // b dominates a?
-          bool dominates =
-              cands[b].lower > cands[a].upper + options_.epsilon ||
-              (std::abs(cands[b].lower - cands[a].upper) <=
-                   options_.epsilon &&
-               cands[b].lower >= cands[b].upper - options_.epsilon &&
-               cands[b].data.node < cands[a].data.node);
-          if (dominates) {
-            cands[a].alive = false;
-            ++st.candidates_cleaned;
-          }
-        }
-      }
-    }
+    // shrink). The engine scans its precomputed neighbor-pair list.
+    st.candidates_cleaned += engine.CleanDominated(options_.epsilon);
 
     // StopCondition (paper Algorithm 2).
     order.clear();
-    for (uint32_t ci : active) {
-      if (cands[ci].alive) order.push_back(ci);
+    for (uint32_t ci : engine.ActiveCandidates()) {
+      if (engine.alive(ci)) order.push_back(ci);
     }
     std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-      if (cands[a].upper != cands[b].upper) {
-        return cands[a].upper > cands[b].upper;
+      if (engine.upper(a) != engine.upper(b)) {
+        return engine.upper(a) > engine.upper(b);
       }
-      return cands[a].data.node < cands[b].data.node;
+      return engine.node(a) < engine.node(b);
     });
 
     if (order.size() >= options_.k || frontier_exhausted ||
         threshold <= options_.epsilon) {
       // Check the first k alive candidates: pairwise non-neighbors?
       size_t kk = std::min(options_.k, order.size());
-      bool neighbor_clash = false;
-      for (size_t i = 0; i < kk && !neighbor_clash; ++i) {
-        for (size_t j = i + 1; j < kk; ++j) {
-          if (instance_.docs().AreVerticalNeighbors(
-                  cands[order[i]].data.node, cands[order[j]].data.node)) {
-            neighbor_clash = true;
-            break;
-          }
-        }
-      }
-      if (!neighbor_clash) {
+      if (!engine.AnyNeighborPair(order, kk)) {
         double min_topk_lower = std::numeric_limits<double>::infinity();
         for (size_t i = 0; i < kk; ++i) {
-          min_topk_lower = std::min(min_topk_lower, cands[order[i]].lower);
+          min_topk_lower = std::min(min_topk_lower, engine.lower(order[i]));
         }
         double max_non_topk_upper =
-            order.size() > kk ? cands[order[kk]].upper : 0.0;
+            order.size() > kk ? engine.upper(order[kk]) : 0.0;
         if (std::max(max_non_topk_upper, threshold) <=
             min_topk_lower + options_.epsilon) {
           // With fewer than k results we are only done once nothing
@@ -326,12 +276,12 @@ Result<std::vector<ResultEntry>> S3kSearcher::Search(const Query& query,
     if (frontier_exhausted && n_discovered == passing.size()) {
       // Everything reachable is explored exactly; ties included.
       st.converged = true;
-      return make_result(greedy_topk(order));
+      return make_result(engine.GreedyTopK(order, options_.k));
     }
     if (frontier_exhausted && threshold <= options_.epsilon) {
       // Unreached components can only hold zero-score documents.
       st.converged = true;
-      return make_result(greedy_topk(order));
+      return make_result(engine.GreedyTopK(order, options_.k));
     }
     if (options_.time_budget_seconds > 0.0 &&
         timer.ElapsedSeconds() >= options_.time_budget_seconds) {
@@ -340,7 +290,7 @@ Result<std::vector<ResultEntry>> S3kSearcher::Search(const Query& query,
   }
 
   // Anytime termination (paper §4.1): return the best k known now.
-  return make_result(greedy_topk(order));
+  return make_result(engine.GreedyTopK(order, options_.k));
 }
 
 }  // namespace s3::core

@@ -28,11 +28,14 @@ double CandidateUpperBound(const Candidate& cand,
   double score = 1.0;
   for (const auto& per_keyword : cand.sources) {
     double sum = 0.0;
+    double w_total = 0.0;
     for (const auto& [src, w] : per_keyword) {
-      sum += static_cast<double>(w) *
-             std::min(1.0, all_prox[src] + tail);
+      sum += static_cast<double>(w) * all_prox[src];
+      w_total += static_cast<double>(w);
     }
-    score *= sum;
+    // max(sum, ·) keeps upper ≥ lower even when accumulated prox
+    // overshoots 1 by a rounding error.
+    score *= std::max(sum, std::min(w_total, sum + w_total * tail));
   }
   return score;
 }

@@ -60,7 +60,12 @@ double CandidateLowerBound(const Candidate& cand,
                            const std::vector<double>& all_prox);
 
 // Upper bound: every source may still gain at most `tail` proximity
-// from unexplored paths; prox is also globally capped by 1.
+// from unexplored paths, and prox is globally capped by 1, so each
+// per-keyword sum S = Σ w·prox is bounded by min(W, S + W·tail) with
+// W = Σ w. The clamp is applied at the sum level (not per source) so
+// the bound is a function of (S, W, tail) alone — this is what lets
+// S3k maintain S incrementally and refresh upper bounds in O(1) per
+// keyword when the shared tail term shrinks.
 double CandidateUpperBound(const Candidate& cand,
                            const std::vector<double>& all_prox,
                            double tail);

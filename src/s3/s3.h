@@ -15,6 +15,7 @@
 #define S3_S3_S3_H_
 
 // Core: the unified social/structured/semantic instance and search.
+#include "core/bound_engine.h"
 #include "core/connections.h"
 #include "core/naive_reference.h"
 #include "core/s3_instance.h"

@@ -128,6 +128,45 @@ void TransitionMatrix::Propagate(const Frontier& in, Frontier& out) const {
   }
 }
 
+void TransitionMatrix::PropagateAdaptive(const Frontier& in, Frontier& out,
+                                         ThreadPool* pool) const {
+  // Pull reads all nnz transpose entries sequentially; push scatters
+  // into `touched` of them. The crossover sits where the scatter
+  // traffic approaches the full sequential sweep. The measurement
+  // stops as soon as the verdict is known.
+  const uint64_t touched_cut = nonzeros() / 4;
+  uint64_t touched = 0;
+  for (uint32_t row : in.nonzero) {
+    touched += row_ptr_[row + 1] - row_ptr_[row];
+    if (touched >= touched_cut) break;
+  }
+  const bool dense = touched >= touched_cut ||
+                     in.nonzero.size() * 4 >= rows();
+  if (dense && pool != nullptr) {
+    // Chunks are contiguous, ascending row ranges, so the concatenated
+    // nonzero list comes out sorted.
+    PropagateParallel(in, out, *pool);
+    return;
+  }
+  if (dense) {
+    out.Clear();
+    const size_t total = rows();
+    for (size_t row = 0; row < total; ++row) {
+      double sum = 0.0;
+      for (uint64_t i = t_row_ptr_[row]; i < t_row_ptr_[row + 1]; ++i) {
+        sum += in.values[t_cols_[i]] * t_vals_[i];
+      }
+      if (sum != 0.0) {
+        out.values[row] = sum;
+        out.nonzero.push_back(static_cast<uint32_t>(row));
+      }
+    }
+    return;
+  }
+  Propagate(in, out);
+  std::sort(out.nonzero.begin(), out.nonzero.end());
+}
+
 double TransitionMatrix::RowSum(uint32_t row) const {
   double s = 0.0;
   for (uint64_t i = row_ptr_[row]; i < row_ptr_[row + 1]; ++i) s += vals_[i];

@@ -56,6 +56,16 @@ class TransitionMatrix {
   void PropagateParallel(const Frontier& in, Frontier& out,
                          ThreadPool& pool) const;
 
+  // Adaptive step: measures the frontier's density — the matrix
+  // nonzeros a push step would actually touch, via row_ptr — and picks
+  // push (sparse scatter) or pull (dense sequential gather over the
+  // transpose, parallelized when `pool` is non-null) accordingly.
+  // `in.nonzero` is expected sorted ascending (for sequential CSR
+  // access); `out.nonzero` is always left sorted, so chaining
+  // PropagateAdaptive steps maintains the invariant.
+  void PropagateAdaptive(const Frontier& in, Frontier& out,
+                         ThreadPool* pool) const;
+
   // Normalization denominator D(n) for the row of entity `n` (0 if the
   // neighborhood has no outgoing edge).
   double Denominator(uint32_t row) const { return denom_[row]; }

@@ -260,6 +260,80 @@ TEST(CommentChainTest, SourcesPropagateThroughCommentChains) {
   EXPECT_TRUE(c2_source);
 }
 
+TEST(TagChainTest, DeepTagOnTagChainTerminates) {
+  // A long tag-on-tag chain exercises the recursive TagSources /
+  // TagGrounded derivation with the cycle guards in place: every
+  // author along the chain must surface as a source, with no blow-up.
+  S3Instance inst;
+  std::vector<social::UserId> users;
+  const int kDepth = 512;
+  for (int i = 0; i < kDepth + 1; ++i) {
+    users.push_back(inst.AddUser("u" + std::to_string(i)));
+  }
+  KeywordId kw = inst.InternKeyword("chained");
+  doc::Document d("doc");
+  doc::DocId d0 = inst.AddDocument(std::move(d), "d0", users[0]).value();
+  doc::NodeId root = inst.docs().RootNode(d0);
+  // A tower of keyword tags, each on the previous one, topped by one
+  // endorsement (grounded through the keyword tag right below it).
+  social::TagId t = inst.AddTagOnFragment(users[1], root, kw).value();
+  for (int i = 2; i < kDepth; ++i) {
+    t = inst.AddTagOnTag(users[i], t, kw).value();
+  }
+  t = inst.AddTagOnTag(users[kDepth], t, kInvalidKeyword).value();
+  ASSERT_TRUE(inst.Finalize().ok());
+
+  ConnectionBuilder b(inst, 0.5);
+  auto cc = b.Build(inst.components().Of(EntityId::Fragment(root)),
+                    SingleKeyword(kw));
+  const Candidate* cand = FindCandidate(cc, root);
+  ASSERT_NE(cand, nullptr);
+  // contains-like source is absent (document text has no keyword); the
+  // keyword tag author and every endorser of the chain contribute.
+  std::unordered_set<uint32_t> sources;
+  for (const auto& [src, w] : cand->sources[0]) sources.insert(src);
+  for (int i = 1; i <= kDepth; ++i) {
+    EXPECT_TRUE(sources.contains(inst.RowOfUser(users[i]))) << "user " << i;
+  }
+}
+
+TEST(CommentCycleTest, MutualCommentsReachFixpointSources) {
+  // d0 and c1 comment on each other and both contain the keyword. The
+  // least fixpoint gives BOTH documents both source rows; a memo entry
+  // cached while the cycle guard was suppressing one direction would
+  // under-approximate whichever document is visited second.
+  S3Instance inst;
+  auto u = inst.AddUser("u");
+  KeywordId kw = inst.InternKeyword("loop");
+  doc::Document a("doc");
+  a.AddKeywords(0, {kw});
+  doc::DocId d0 = inst.AddDocument(std::move(a), "d0", u).value();
+  doc::Document b("doc");
+  b.AddKeywords(0, {kw});
+  doc::DocId c1 = inst.AddDocument(std::move(b), "c1", u).value();
+  ASSERT_TRUE(inst.AddComment(c1, inst.docs().RootNode(d0)).ok());
+  ASSERT_TRUE(inst.AddComment(d0, inst.docs().RootNode(c1)).ok());
+  ASSERT_TRUE(inst.Finalize().ok());
+
+  doc::NodeId d0_root = inst.docs().RootNode(d0);
+  doc::NodeId c1_root = inst.docs().RootNode(c1);
+  ConnectionBuilder builder(inst, 0.5);
+  auto cc = builder.Build(inst.components().Of(EntityId::Fragment(d0_root)),
+                          SingleKeyword(kw));
+  for (doc::NodeId node : {d0_root, c1_root}) {
+    const Candidate* cand = FindCandidate(cc, node);
+    ASSERT_NE(cand, nullptr) << "node " << node;
+    std::unordered_set<uint32_t> sources;
+    for (const auto& [src, w] : cand->sources[0]) sources.insert(src);
+    EXPECT_TRUE(sources.contains(inst.RowOfFragment(d0_root)))
+        << "node " << node;
+    EXPECT_TRUE(sources.contains(inst.RowOfFragment(c1_root)))
+        << "node " << node;
+    // One contains tuple plus one commentsOn tuple per source row.
+    EXPECT_NEAR(cand->static_weight[0], 3.0, 1e-9) << "node " << node;
+  }
+}
+
 TEST(ConnectionDedupTest, TwoExtensionMatchesOneContainsTuple) {
   // A fragment containing two members of Ext(k) yields ONE contains
   // tuple (con is a set keyed on (type, f, src)).

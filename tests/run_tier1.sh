@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verify sequence (ROADMAP.md) plus a short benchmark sanity run.
+#
+# Usage:
+#   tests/run_tier1.sh            configure + build + ctest + bench smoke
+#   tests/run_tier1.sh --ctest    bench smoke only (invoked from ctest,
+#                                 cwd = build dir; skips the recursive build)
+set -euo pipefail
+
+if [[ "${1:-}" == "--ctest" ]]; then
+  build_dir="$(pwd)"
+  if [[ ! -x "${build_dir}/bench_micro" ]]; then
+    echo "tier1_smoke: bench_micro not found in ${build_dir}" >&2
+    exit 1
+  fi
+  "${build_dir}/bench_micro" --benchmark_min_time=0.01 \
+    --benchmark_filter='BM_(MatrixPropagate|PorterStem)' \
+    --benchmark_out="${build_dir}/BENCH_smoke.json" \
+    --benchmark_out_format=json
+  exit 0
+fi
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j"$(nproc)"
+ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)" -E tier1_smoke
+
+"${build_dir}/bench_micro" --benchmark_min_time=0.01 \
+  --benchmark_out="${build_dir}/BENCH_smoke.json" \
+  --benchmark_out_format=json
+echo "tier-1 verify + bench smoke OK"
