@@ -20,6 +20,9 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  // Transient overload: retry later (the query service's bounded-queue
+  // admission control sheds load with this code).
+  kUnavailable,
 };
 
 // Human-readable name of a StatusCode, e.g. "InvalidArgument".
@@ -49,6 +52,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -8,7 +8,7 @@ namespace s3::core {
 
 CandidateBoundEngine::CandidateBoundEngine(
     const doc::DocumentStore& docs, size_t n_keywords, uint32_t total_rows,
-    std::vector<ComponentCandidates>& per_comp)
+    const std::vector<ComponentCandidates>& per_comp)
     : n_keywords_(n_keywords) {
   size_t n_cands = 0;
   size_t n_entries = 0;
@@ -33,7 +33,7 @@ CandidateBoundEngine::CandidateBoundEngine(
   src_w_.reserve(n_entries);
 
   for (size_t slot = 0; slot < per_comp.size(); ++slot) {
-    for (Candidate& c : per_comp[slot].candidates) {
+    for (const Candidate& c : per_comp[slot].candidates) {
       const uint32_t ci = static_cast<uint32_t>(node_.size());
       slot_cands_[slot].push_back(ci);
       node_.push_back(c.node);
@@ -48,8 +48,6 @@ CandidateBoundEngine::CandidateBoundEngine(
         kw_w_.push_back(w_total);
         src_begin_.push_back(src_rows_.size());
       }
-      c.sources.clear();
-      c.sources.shrink_to_fit();
     }
   }
 

@@ -44,11 +44,13 @@ namespace s3::core {
 class CandidateBoundEngine {
  public:
   // Flattens the candidates of all passing components. `per_comp[i]`
-  // becomes component slot i; candidate source lists are consumed.
-  // `total_rows` is the entity-row count (sizes the reverse index).
+  // becomes component slot i; the source lists are copied into the CSR
+  // (never mutated), so one shared/cached CandidatePlan can seed any
+  // number of concurrent engines. `total_rows` is the entity-row count
+  // (sizes the reverse index).
   CandidateBoundEngine(const doc::DocumentStore& docs, size_t n_keywords,
                        uint32_t total_rows,
-                       std::vector<ComponentCandidates>& per_comp);
+                       const std::vector<ComponentCandidates>& per_comp);
 
   size_t size() const { return node_.size(); }
   size_t keywords() const { return n_keywords_; }

@@ -17,58 +17,58 @@ namespace {
 using social::ComponentId;
 using social::Frontier;
 
+// Runs fn(i) for i in [0, n): striped over `pool` when it exists and
+// the trip count is worth the dispatch, serial otherwise.
+void MaybeParallelFor(ThreadPool* pool, size_t n,
+                      const std::function<void(size_t)>& fn,
+                      size_t min_parallel) {
+  if (pool == nullptr || n < min_parallel) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  } else {
+    pool->ParallelFor(n, fn);
+  }
+}
+
+// Resets a scratch frontier for a new query, reusing the dense buffer
+// when the instance size is unchanged (O(nonzero) instead of O(rows)).
+void ResetFrontier(Frontier& f, size_t total_rows) {
+  if (f.values.size() == total_rows) {
+    f.Clear();
+  } else {
+    f.Init(total_rows);
+  }
+}
+
 }  // namespace
 
-S3kSearcher::S3kSearcher(const S3Instance& instance, S3kOptions options)
-    : instance_(instance), options_(options) {}
-
-Result<std::vector<ResultEntry>> S3kSearcher::Search(const Query& query,
-                                                     SearchStats* stats) {
-  if (!instance_.finalized()) {
+Result<CandidatePlan> BuildCandidatePlan(
+    const S3Instance& instance, const std::vector<KeywordId>& keywords,
+    bool use_semantics, double eta, ThreadPool* pool) {
+  if (!instance.finalized()) {
     return Status::FailedPrecondition("instance not finalized");
   }
-  if (query.seeker >= instance_.UserCount()) {
-    return Status::InvalidArgument("unknown seeker");
-  }
-  if (query.keywords.empty()) {
+  if (keywords.empty()) {
     return Status::InvalidArgument("empty keyword set");
   }
-  if (query.keywords.size() > 64) {
+  if (keywords.size() > 64) {
     return Status::InvalidArgument("queries are limited to 64 keywords");
   }
 
-  if (options_.threads > 1 && pool_ == nullptr) {
-    pool_ = std::make_unique<ThreadPool>(options_.threads - 1);
-  }
-  auto parallel_for = [&](size_t n, const std::function<void(size_t)>& fn,
-                          size_t min_parallel) {
-    if (pool_ == nullptr || n < min_parallel) {
-      for (size_t i = 0; i < n; ++i) fn(i);
-    } else {
-      pool_->ParallelFor(n, fn);
-    }
-  };
-
-  WallTimer timer;
-  SearchStats local_stats;
-  SearchStats& st = stats ? *stats : local_stats;
-  st = SearchStats{};
-
-  const double gamma = options_.score.gamma;
-  const double c_gamma = CGamma(gamma);
-  const size_t n_keywords = query.keywords.size();
+  CandidatePlan plan;
+  plan.keywords = keywords;
+  const size_t n_keywords = keywords.size();
 
   // ---- 1. Semantic extension of the query keywords.
-  QueryExtension ext(n_keywords);
+  plan.ext.resize(n_keywords);
   for (size_t i = 0; i < n_keywords; ++i) {
-    if (options_.use_semantics) {
-      for (KeywordId k : instance_.ExtendKeyword(query.keywords[i])) {
-        ext[i].insert(k);
+    if (use_semantics) {
+      for (KeywordId k : instance.ExtendKeyword(keywords[i])) {
+        plan.ext[i].insert(k);
       }
     } else {
-      ext[i].insert(query.keywords[i]);
+      plan.ext[i].insert(keywords[i]);
     }
-    st.extension_keywords += ext[i].size();
+    plan.extension_keywords += plan.ext[i].size();
   }
 
   // ---- 2. Passing components: every query keyword (or an extension
@@ -77,40 +77,91 @@ Result<std::vector<ResultEntry>> S3kSearcher::Search(const Query& query,
       n_keywords == 64 ? ~0ull : ((1ull << n_keywords) - 1);
   std::unordered_map<ComponentId, uint64_t> comp_mask;
   for (size_t i = 0; i < n_keywords; ++i) {
-    for (KeywordId k : ext[i]) {
-      for (ComponentId c : instance_.ComponentsWithKeyword(k)) {
+    for (KeywordId k : plan.ext[i]) {
+      for (ComponentId c : instance.ComponentsWithKeyword(k)) {
         comp_mask[c] |= (1ull << i);
       }
     }
   }
-  std::vector<ComponentId> passing;
   for (const auto& [c, mask] : comp_mask) {
-    if (mask == full_mask) passing.push_back(c);
+    if (mask == full_mask) plan.passing.push_back(c);
   }
-  std::sort(passing.begin(), passing.end());
-  st.components_passing = passing.size();
+  std::sort(plan.passing.begin(), plan.passing.end());
 
   // ---- 3. Candidate construction per passing component (the paper's
   // GetDocuments, run eagerly; exploration refines only prox).
-  std::vector<ComponentCandidates> per_comp(passing.size());
-  parallel_for(
-      passing.size(),
+  plan.per_comp.resize(plan.passing.size());
+  MaybeParallelFor(
+      pool, plan.passing.size(),
       [&](size_t i) {
-        ConnectionBuilder builder(instance_, options_.score.eta);
-        per_comp[i] = builder.Build(passing[i], ext);
+        ConnectionBuilder builder(instance, eta);
+        plan.per_comp[i] = builder.Build(plan.passing[i], plan.ext);
       },
       /*min_parallel=*/8);
 
-  const uint32_t total_rows = instance_.layout().total();
-  std::vector<double> comp_cap(passing.size(), 0.0);
-  for (size_t i = 0; i < passing.size(); ++i) {
-    comp_cap[i] = per_comp[i].max_cap;
+  return plan;
+}
+
+S3kSearcher::S3kSearcher(const S3Instance& instance, S3kOptions options)
+    : instance_(instance), options_(options) {
+  if (options_.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.threads - 1);
+  }
+}
+
+Result<std::vector<ResultEntry>> S3kSearcher::Search(const Query& query,
+                                                     SearchStats* stats) {
+  WallTimer timer;
+  // Reject an unknown seeker before paying for candidate construction.
+  if (instance_.finalized() && query.seeker >= instance_.UserCount()) {
+    return Status::InvalidArgument("unknown seeker");
+  }
+  auto plan = BuildCandidatePlan(instance_, query.keywords,
+                                 options_.use_semantics, options_.score.eta,
+                                 pool_.get());
+  if (!plan.ok()) return plan.status();
+  auto result = SearchWithPlan(query, *plan, stats);
+  if (stats != nullptr && result.ok()) {
+    // SearchWithPlan timed only the exploration; report the full query.
+    stats->elapsed_seconds = timer.ElapsedSeconds();
+  }
+  return result;
+}
+
+Result<std::vector<ResultEntry>> S3kSearcher::SearchWithPlan(
+    const Query& query, const CandidatePlan& plan, SearchStats* stats) {
+  if (!instance_.finalized()) {
+    return Status::FailedPrecondition("instance not finalized");
+  }
+  if (query.seeker >= instance_.UserCount()) {
+    return Status::InvalidArgument("unknown seeker");
+  }
+  if (plan.n_keywords() == 0) {
+    return Status::InvalidArgument("empty candidate plan");
   }
 
-  // Flat incremental scoring state over all candidates (consumes the
-  // per-component source lists).
+  WallTimer timer;
+  SearchStats local_stats;
+  SearchStats& st = stats ? *stats : local_stats;
+  st = SearchStats{};
+  st.extension_keywords = plan.extension_keywords;
+  st.components_passing = plan.passing.size();
+
+  const double gamma = options_.score.gamma;
+  const double c_gamma = CGamma(gamma);
+  const size_t n_keywords = plan.n_keywords();
+
+  const uint32_t total_rows = instance_.layout().total();
+  std::vector<double> comp_cap(plan.passing.size(), 0.0);
+  for (size_t i = 0; i < plan.passing.size(); ++i) {
+    comp_cap[i] = plan.per_comp[i].max_cap;
+  }
+
+  // Flat incremental scoring state over all candidates (reads the
+  // per-component source lists; the plan itself stays untouched, so a
+  // cached plan serves any number of concurrent engines).
   CandidateBoundEngine engine(instance_.docs(), n_keywords, total_rows,
-                              per_comp);
+                              plan.per_comp);
   st.candidates_total = engine.size();
   st.candidate_nodes.reserve(engine.size());
   for (uint32_t ci = 0; ci < engine.size(); ++ci) {
@@ -118,8 +169,8 @@ Result<std::vector<ResultEntry>> S3kSearcher::Search(const Query& query,
   }
 
   // Component slots ordered by cap (for the unexplored-docs threshold).
-  std::vector<uint32_t> slots_by_cap(passing.size());
-  for (size_t i = 0; i < passing.size(); ++i) slots_by_cap[i] = i;
+  std::vector<uint32_t> slots_by_cap(plan.passing.size());
+  for (size_t i = 0; i < plan.passing.size(); ++i) slots_by_cap[i] = i;
   std::sort(slots_by_cap.begin(), slots_by_cap.end(),
             [&](uint32_t a, uint32_t b) { return comp_cap[a] > comp_cap[b]; });
 
@@ -130,8 +181,8 @@ Result<std::vector<ResultEntry>> S3kSearcher::Search(const Query& query,
   // the per-frontier-row component hash lookup of the from-scratch
   // implementation.
   std::vector<uint32_t> watch_rows, watch_slots;
-  for (size_t i = 0; i < passing.size(); ++i) {
-    for (uint32_t row : instance_.components().Members(passing[i])) {
+  for (size_t i = 0; i < plan.passing.size(); ++i) {
+    for (uint32_t row : instance_.components().Members(plan.passing[i])) {
       watch_rows.push_back(row);
       watch_slots.push_back(static_cast<uint32_t>(i));
     }
@@ -141,13 +192,14 @@ Result<std::vector<ResultEntry>> S3kSearcher::Search(const Query& query,
   const social::TransitionMatrix& matrix = instance_.matrix();
   const uint32_t seeker_row = instance_.RowOfUser(query.seeker);
 
-  Frontier frontier, next;
-  frontier.Init(total_rows);
-  next.Init(total_rows);
+  Frontier& frontier = frontier_;
+  Frontier& next = next_;
+  ResetFrontier(frontier, total_rows);
+  ResetFrontier(next, total_rows);
   frontier.Set(seeker_row, 1.0);
   engine.ApplyDelta(seeker_row, c_gamma);  // the empty path
 
-  std::vector<bool> discovered(passing.size(), false);
+  std::vector<bool> discovered(plan.passing.size(), false);
   size_t n_discovered = 0;
   bool frontier_exhausted = false;
 
@@ -164,7 +216,8 @@ Result<std::vector<ResultEntry>> S3kSearcher::Search(const Query& query,
   };
 
   // ---- 5. Main loop.
-  std::vector<uint32_t> order;  // active candidates sorted by upper desc
+  std::vector<uint32_t>& order = order_;  // active candidates by upper desc
+  order.clear();
   for (size_t n = 1; n <= options_.max_iterations; ++n) {
     st.iterations = n;
 
@@ -193,7 +246,7 @@ Result<std::vector<ResultEntry>> S3kSearcher::Search(const Query& query,
       }
       // Discovery sweep over the rows of still-undiscovered passing
       // components; rows of discovered slots are compacted away.
-      if (n_discovered < passing.size()) {
+      if (n_discovered < plan.passing.size()) {
         size_t w = 0;
         for (size_t i = 0; i < watch_rows.size(); ++i) {
           const uint32_t slot = watch_slots[i];
@@ -273,7 +326,7 @@ Result<std::vector<ResultEntry>> S3kSearcher::Search(const Query& query,
       }
     }
 
-    if (frontier_exhausted && n_discovered == passing.size()) {
+    if (frontier_exhausted && n_discovered == plan.passing.size()) {
       // Everything reachable is explored exactly; ties included.
       st.converged = true;
       return make_result(engine.GreedyTopK(order, options_.k));

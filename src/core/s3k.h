@@ -52,6 +52,41 @@ struct S3kOptions {
   double time_budget_seconds = 0.0;
 };
 
+// The seeker-independent half of query evaluation: semantic extension,
+// passing components, and per-component candidates with their source
+// lists (the paper's GetDocuments output). A plan depends only on the
+// keyword multiset and the (use_semantics, eta) parameters — not on the
+// seeker — so it can be built once and shared by every query over the
+// same keywords. Plans are immutable after construction; SearchWithPlan
+// never mutates one, which is what lets the serving layer cache them
+// behind shared_ptr<const CandidatePlan> across threads.
+//
+// Because the score is a product over query keywords, permuting the
+// keyword list permutes the plan's slots without changing any score:
+// a plan built from the *sorted* keyword list answers any ordering of
+// the same multiset (the proximity-cache canonicalization).
+struct CandidatePlan {
+  // Keywords the plan was built for, in slot order (ext[i] extends
+  // keywords[i]).
+  std::vector<KeywordId> keywords;
+  QueryExtension ext;
+  // Components in which every query keyword (or an extension member)
+  // occurs, sorted; per_comp[i] holds the candidates of passing[i].
+  std::vector<social::ComponentId> passing;
+  std::vector<ComponentCandidates> per_comp;
+  size_t extension_keywords = 0;  // Σ |Ext(k)| over query keywords
+
+  size_t n_keywords() const { return keywords.size(); }
+};
+
+// Builds the candidate plan for a keyword list: extension, passing
+// components and per-component candidate construction. `pool` (may be
+// null) parallelizes candidate building across components. Fails on an
+// empty or oversized (> 64) keyword list or an unfinalized instance.
+Result<CandidatePlan> BuildCandidatePlan(
+    const S3Instance& instance, const std::vector<KeywordId>& keywords,
+    bool use_semantics, double eta, ThreadPool* pool = nullptr);
+
 // One returned answer with its score interval at termination.
 struct ResultEntry {
   doc::NodeId node = doc::kInvalidNode;
@@ -73,23 +108,49 @@ struct SearchStats {
   std::vector<doc::NodeId> candidate_nodes;
 };
 
+// A reusable query worker. One searcher answers one query at a time;
+// it keeps per-worker scratch (the exploration frontiers, the candidate
+// ordering buffer, and the intra-query thread pool) alive across
+// queries so the steady state allocates nothing per query outside the
+// bound engine. Distinct searchers over the same const S3Instance are
+// independent and may run concurrently — the serving layer
+// (server/query_service.h) pools N of them over one shared snapshot.
 class S3kSearcher {
  public:
   // `instance` must outlive the searcher and be finalized.
   S3kSearcher(const S3Instance& instance, S3kOptions options);
 
   // Runs the query; returns the top-k (possibly fewer if the instance
-  // has fewer matching neighbor-free documents).
+  // has fewer matching neighbor-free documents). Builds the candidate
+  // plan itself — equivalent to BuildCandidatePlan + SearchWithPlan.
   Result<std::vector<ResultEntry>> Search(const Query& query,
                                           SearchStats* stats = nullptr);
 
+  // Runs the exploration loop over a prebuilt (possibly shared/cached)
+  // plan. The plan must have been built over this searcher's instance
+  // with the same use_semantics / eta; only `query.seeker` is read —
+  // the plan's keyword slots stand in for `query.keywords` (any
+  // permutation of the plan's keyword multiset scores identically).
+  Result<std::vector<ResultEntry>> SearchWithPlan(const Query& query,
+                                                  const CandidatePlan& plan,
+                                                  SearchStats* stats = nullptr);
+
   const S3kOptions& options() const { return options_; }
+
+  // The searcher's intra-query thread pool (null when threads <= 1).
+  // Exposed so the serving layer can reuse it for cache-miss plan
+  // builds instead of building plans single-threaded.
+  ThreadPool* intra_pool() const { return pool_.get(); }
 
  private:
   const S3Instance& instance_;
   S3kOptions options_;
-  // Persistent worker pool (created on first use when threads > 1).
+  // Persistent worker pool for intra-query parallelism (created in the
+  // constructor when threads > 1, so Search never mutates structure).
   std::unique_ptr<ThreadPool> pool_;
+  // Per-worker scratch reused across queries (reset at query start).
+  social::Frontier frontier_, next_;
+  std::vector<uint32_t> order_;  // active candidates by upper desc
 };
 
 }  // namespace s3::core

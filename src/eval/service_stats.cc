@@ -1,0 +1,65 @@
+#include "eval/service_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/stats.h"
+
+namespace s3::eval {
+
+void LatencyRecorder::Add(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.size() < window_capacity_) {
+    samples_.push_back(seconds);
+  } else {
+    samples_[next_slot_] = seconds;
+    next_slot_ = (next_slot_ + 1) % window_capacity_;
+  }
+  ++total_count_;
+}
+
+size_t LatencyRecorder::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_count_;
+}
+
+LatencySnapshot LatencyRecorder::TakeSnapshot(double elapsed_seconds) const {
+  std::vector<double> samples;
+  size_t total;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples = samples_;  // window order is irrelevant for quantiles
+    total = total_count_;
+  }
+  LatencySnapshot out;
+  out.count = total;
+  out.elapsed_seconds = elapsed_seconds;
+  if (samples.empty()) return out;
+  if (elapsed_seconds > 0.0) {
+    out.qps = static_cast<double>(total) / elapsed_seconds;
+  }
+  constexpr double kMs = 1e3;
+  out.mean_ms = Mean(samples) * kMs;
+  out.p50_ms = Quantile(samples, 0.50) * kMs;
+  out.p90_ms = Quantile(samples, 0.90) * kMs;
+  out.p99_ms = Quantile(samples, 0.99) * kMs;
+  out.max_ms = *std::max_element(samples.begin(), samples.end()) * kMs;
+  return out;
+}
+
+void LatencyRecorder::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.clear();
+  next_slot_ = 0;
+  total_count_ = 0;
+}
+
+std::string FormatSnapshot(const LatencySnapshot& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu qps=%.1f p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms",
+                s.count, s.qps, s.p50_ms, s.p90_ms, s.p99_ms, s.max_ms);
+  return buf;
+}
+
+}  // namespace s3::eval

@@ -1,0 +1,76 @@
+// Service-level throughput and latency aggregation for the concurrent
+// query service: per-query latencies recorded by N worker/client
+// threads, summarized as QPS and tail percentiles (p50/p90/p99) — the
+// numbers bench_server_throughput reports and BENCH_server.json
+// records.
+//
+// RuntimeSeries (runtime.h) stays the single-threaded per-figure
+// collector; LatencyRecorder is its thread-safe sibling for the
+// serving path, where many threads complete queries concurrently.
+#ifndef S3_EVAL_SERVICE_STATS_H_
+#define S3_EVAL_SERVICE_STATS_H_
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace s3::eval {
+
+// Point-in-time summary of a service run. Latencies in milliseconds;
+// qps derived from the caller-supplied wall-clock window.
+struct LatencySnapshot {
+  size_t count = 0;
+  double elapsed_seconds = 0.0;
+  double qps = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+// Thread-safe latency recorder. Add() is called from any number of
+// threads; TakeSnapshot() copies the samples under the lock and
+// summarizes outside it.
+//
+// Memory is bounded: the recorder keeps the most recent
+// `window_capacity` samples in a ring (percentiles are over that
+// sliding window) while the total count — and hence QPS — covers every
+// Add() since construction/Reset(). A long-lived QueryService can
+// therefore record forever without accreting memory.
+class LatencyRecorder {
+ public:
+  static constexpr size_t kDefaultWindow = 1 << 16;
+
+  explicit LatencyRecorder(size_t window_capacity = kDefaultWindow)
+      : window_capacity_(window_capacity < 1 ? 1 : window_capacity) {}
+
+  void Add(double seconds);
+
+  // Total samples ever recorded (not capped by the window).
+  size_t count() const;
+
+  // Summarizes against a wall-clock window of `elapsed_seconds` (for
+  // QPS, computed from the total count). Percentiles cover the last
+  // min(count, window_capacity) samples. Zero-sample snapshots are
+  // all-zero.
+  LatencySnapshot TakeSnapshot(double elapsed_seconds) const;
+
+  void Reset();
+
+ private:
+  const size_t window_capacity_;
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;  // ring once it reaches capacity
+  size_t next_slot_ = 0;         // ring write cursor
+  size_t total_count_ = 0;
+};
+
+// One-line human-readable rendering, e.g.
+// "n=1200 qps=483.1 p50=1.92ms p90=3.10ms p99=7.45ms".
+std::string FormatSnapshot(const LatencySnapshot& s);
+
+}  // namespace s3::eval
+
+#endif  // S3_EVAL_SERVICE_STATS_H_

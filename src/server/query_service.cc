@@ -1,0 +1,160 @@
+#include "server/query_service.h"
+
+#include <utility>
+
+namespace s3::server {
+
+QueryService::QueryService(std::shared_ptr<const core::S3Instance> snapshot,
+                           QueryServiceOptions options)
+    : snapshot_(std::move(snapshot)),
+      options_(options),
+      queue_(options.queue_capacity) {
+  if (options_.workers < 1) options_.workers = 1;
+  if (options_.enable_cache) {
+    cache_ = std::make_unique<ProximityCache>(
+        options_.cache_shards, options_.cache_capacity_per_shard);
+  }
+  workers_.reserve(options_.workers);
+  for (unsigned i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+Status QueryService::ValidateQuery(const core::Query& query) const {
+  if (!snapshot_->finalized()) {
+    return Status::FailedPrecondition("snapshot not finalized");
+  }
+  if (query.seeker >= snapshot_->UserCount()) {
+    return Status::InvalidArgument("unknown seeker");
+  }
+  if (query.keywords.empty()) {
+    return Status::InvalidArgument("empty keyword set");
+  }
+  if (query.keywords.size() > 64) {
+    return Status::InvalidArgument("queries are limited to 64 keywords");
+  }
+  return Status::OK();
+}
+
+Result<QueryFuture> QueryService::Admit(core::Query query, bool blocking) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("service is shut down");
+  }
+  S3_RETURN_IF_ERROR(ValidateQuery(query));
+
+  Task task;
+  task.query = std::move(query);
+  QueryFuture future = task.promise.get_future();
+  const bool admitted =
+      blocking ? queue_.Push(std::move(task)) : queue_.TryPush(std::move(task));
+  if (!admitted) {
+    if (queue_.closed()) {
+      // Shutdown refusal, not load shedding — don't count it as an
+      // admission-control rejection.
+      return Status::FailedPrecondition("service is shut down");
+    }
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("admission queue full");
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+Result<QueryFuture> QueryService::Submit(core::Query query) {
+  return Admit(std::move(query), /*blocking=*/false);
+}
+
+Result<QueryFuture> QueryService::SubmitBlocking(core::Query query) {
+  return Admit(std::move(query), /*blocking=*/true);
+}
+
+Result<std::shared_ptr<const core::CandidatePlan>> QueryService::ResolvePlan(
+    const core::Query& query, ThreadPool* pool, bool* cache_hit) {
+  *cache_hit = false;
+  const bool use_semantics = options_.search.use_semantics;
+  const double eta = options_.search.score.eta;
+  if (cache_ == nullptr) {
+    auto built = core::BuildCandidatePlan(*snapshot_, query.keywords,
+                                          use_semantics, eta, pool);
+    if (!built.ok()) return built.status();
+    return std::make_shared<const core::CandidatePlan>(std::move(*built));
+  }
+
+  PlanCacheKey key = MakePlanKey(query.keywords, use_semantics, eta);
+  if (auto plan = cache_->Lookup(key)) {
+    *cache_hit = true;
+    return plan;
+  }
+  // Miss: build from the canonical (sorted) keyword order, so the plan
+  // serves every permutation of this multiset. Concurrent misses on
+  // the same key may build twice; last insert wins and both plans are
+  // equivalent, so no cross-worker build lock is needed.
+  auto built = core::BuildCandidatePlan(*snapshot_, key.keywords,
+                                        use_semantics, eta, pool);
+  if (!built.ok()) return built.status();
+  auto plan =
+      std::make_shared<const core::CandidatePlan>(std::move(*built));
+  cache_->Insert(key, plan);
+  return plan;
+}
+
+void QueryService::WorkerLoop() {
+  // The pooled searcher: one per worker, reused for every query the
+  // worker answers (scratch state persists across queries).
+  core::S3kSearcher searcher(*snapshot_, options_.search);
+
+  while (auto popped = queue_.Pop()) {
+    Task& task = *popped;
+    QueryResponse response;
+    response.queue_seconds = task.timer.ElapsedSeconds();
+
+    auto plan = ResolvePlan(task.query, searcher.intra_pool(),
+                            &response.cache_hit);
+    if (!plan.ok()) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      task.promise.set_value(plan.status());
+      continue;
+    }
+
+    auto result = searcher.SearchWithPlan(task.query, **plan,
+                                          &response.stats);
+    if (!result.ok()) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      task.promise.set_value(result.status());
+      continue;
+    }
+
+    response.entries = std::move(*result);
+    response.total_seconds = task.timer.ElapsedSeconds();
+    latency_.Add(response.total_seconds);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    task.promise.set_value(std::move(response));
+  }
+}
+
+void QueryService::Shutdown() {
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    // Already shut down (or shutting down); joining is single-shot
+    // because only the winning caller reaches the joins below.
+    return;
+  }
+  queue_.Close();  // workers drain admitted tasks, then Pop() ends
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+QueryServiceStats QueryService::Stats() const {
+  QueryServiceStats out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.failed = failed_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace s3::server

@@ -1,0 +1,151 @@
+// QueryService: the concurrent inter-query serving layer.
+//
+// One service owns
+//   * an immutable shared S3Instance snapshot (shared_ptr<const>; the
+//     service and every in-flight query keep it alive),
+//   * a pool of N worker threads, each with its own long-lived
+//     S3kSearcher (per-worker scratch: exploration frontiers, ordering
+//     buffer, intra-query thread pool — nothing per query beyond the
+//     bound engine),
+//   * a bounded MPMC admission queue (common/bounded_queue.h), and
+//   * a sharded LRU proximity/candidate cache
+//     (server/proximity_cache.h) shared by all workers.
+//
+// Submit(query) admits the query (or refuses with Unavailable when the
+// queue is full — back-pressure instead of collapse) and returns a
+// future the caller redeems for the top-k result. Workers pop queries
+// FIFO, resolve the candidate plan through the cache (hit: skip
+// extension + candidate construction entirely; miss: build and
+// insert), run the seeker-specific exploration, and fulfil the
+// promise. Shutdown() closes the queue, drains admitted work, and
+// joins the workers; queries admitted before shutdown always complete.
+//
+// Thread-safety: Submit/SubmitBlocking/Stats may be called from any
+// number of client threads. The snapshot must never be mutated after
+// the service is constructed (S3Instance has no post-Finalize mutation
+// API, so const-ness enforces this).
+#ifndef S3_SERVER_QUERY_SERVICE_H_
+#define S3_SERVER_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "core/s3k.h"
+#include "eval/service_stats.h"
+#include "server/proximity_cache.h"
+
+namespace s3::server {
+
+struct QueryServiceOptions {
+  // Worker threads == pooled searchers. Each runs one query at a time.
+  unsigned workers = 4;
+  // Admission-queue capacity; Submit refuses beyond this (load shed).
+  size_t queue_capacity = 256;
+  // Per-worker searcher configuration. `search.threads` is the
+  // *intra*-query parallelism of one worker — with many workers the
+  // default of 1 avoids oversubscription.
+  core::S3kOptions search;
+  // Proximity/candidate cache; disable for ablation.
+  bool enable_cache = true;
+  size_t cache_shards = 8;
+  size_t cache_capacity_per_shard = 64;
+};
+
+// What the future resolves to on success.
+struct QueryResponse {
+  std::vector<core::ResultEntry> entries;
+  core::SearchStats stats;
+  bool cache_hit = false;        // plan served from the proximity cache
+  double queue_seconds = 0.0;    // admission -> dequeue
+  double total_seconds = 0.0;    // admission -> completion
+};
+
+using QueryFuture = std::future<Result<QueryResponse>>;
+
+// Monotonic service counters.
+struct QueryServiceStats {
+  uint64_t submitted = 0;  // admitted into the queue
+  uint64_t rejected = 0;   // refused by admission control
+  uint64_t completed = 0;  // promise fulfilled with a result
+  uint64_t failed = 0;     // promise fulfilled with an error status
+};
+
+class QueryService {
+ public:
+  // `snapshot` must be finalized. The service takes shared ownership.
+  QueryService(std::shared_ptr<const core::S3Instance> snapshot,
+               QueryServiceOptions options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Non-blocking admission. Fails fast with InvalidArgument on a bad
+  // query, Unavailable when the queue is full, FailedPrecondition
+  // after Shutdown. On success the returned future resolves once a
+  // worker has answered the query.
+  Result<QueryFuture> Submit(core::Query query);
+
+  // Blocking admission: waits for queue space instead of shedding.
+  // Fails with FailedPrecondition once the service is shut down.
+  Result<QueryFuture> SubmitBlocking(core::Query query);
+
+  // Closes admission, drains already-admitted queries, joins workers.
+  // Idempotent; also run by the destructor.
+  void Shutdown();
+
+  QueryServiceStats Stats() const;
+
+  // Null when the cache is disabled.
+  const ProximityCache* cache() const { return cache_.get(); }
+
+  // Per-query total (admission -> completion) latencies, recorded by
+  // the workers; snapshot with the caller's wall-clock window for QPS.
+  const eval::LatencyRecorder& latency() const { return latency_; }
+
+  const core::S3Instance& snapshot() const { return *snapshot_; }
+  unsigned worker_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ private:
+  struct Task {
+    core::Query query;
+    std::promise<Result<QueryResponse>> promise;
+    WallTimer timer;  // started at admission
+  };
+
+  Status ValidateQuery(const core::Query& query) const;
+  Result<QueryFuture> Admit(core::Query query, bool blocking);
+  void WorkerLoop();
+
+  // Resolves the candidate plan for a query through the cache (or
+  // builds it uncached). Sets `cache_hit`. `pool` (may be null) is the
+  // calling worker's intra-query pool, reused for cache-miss builds.
+  Result<std::shared_ptr<const core::CandidatePlan>> ResolvePlan(
+      const core::Query& query, ThreadPool* pool, bool* cache_hit);
+
+  std::shared_ptr<const core::S3Instance> snapshot_;
+  QueryServiceOptions options_;
+  BoundedQueue<Task> queue_;
+  std::unique_ptr<ProximityCache> cache_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> shutdown_{false};
+  eval::LatencyRecorder latency_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+};
+
+}  // namespace s3::server
+
+#endif  // S3_SERVER_QUERY_SERVICE_H_

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
+#include <vector>
 
+#include "common/bounded_queue.h"
+#include "common/lru_cache.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -188,6 +193,109 @@ TEST(StrUtilTest, StartsWith) {
 TEST(StrUtilTest, Join) {
   EXPECT_EQ(Join({"a", "b", "c"}, "."), "a.b.c");
   EXPECT_EQ(Join({}, "."), "");
+}
+
+// ---- LruCache ---------------------------------------------------------
+
+TEST(LruCacheTest, GetTouchesRecency) {
+  LruCache<int, std::string> cache(2);
+  cache.Put(1, "one");
+  cache.Put(2, "two");
+  ASSERT_NE(cache.Get(1), nullptr);  // 1 becomes most recent
+  cache.Put(3, "three");             // evicts 2, not 1
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, PutOverwritesInPlace) {
+  LruCache<int, int> cache(2);
+  cache.Put(7, 1);
+  cache.Put(7, 2);
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_NE(cache.Get(7), nullptr);
+  EXPECT_EQ(*cache.Get(7), 2);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(LruCacheTest, EvictsInLruOrder) {
+  LruCache<int, int> cache(3);
+  for (int i = 0; i < 6; ++i) cache.Put(i, i);
+  // 0..2 evicted, 3..5 retained.
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(cache.Contains(i));
+  for (int i = 3; i < 6; ++i) EXPECT_TRUE(cache.Contains(i));
+  EXPECT_EQ(cache.evictions(), 3u);
+}
+
+TEST(LruCacheTest, MissReturnsNull) {
+  LruCache<int, int> cache(1);
+  EXPECT_EQ(cache.Get(42), nullptr);
+  EXPECT_EQ(cache.Peek(42), nullptr);
+}
+
+// ---- BoundedQueue -----------------------------------------------------
+
+TEST(BoundedQueueTest, FifoAndTryPushRefusesWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // admission control: full
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_EQ(q.TryPop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenSignalsEnd) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.TryPush(1));
+  q.Close();
+  EXPECT_FALSE(q.TryPush(2));  // closed refuses new work
+  EXPECT_EQ(q.Pop().value(), 1);  // admitted work still drains
+  EXPECT_EQ(q.Pop(), std::nullopt);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> q(1);
+  std::thread consumer([&] { EXPECT_EQ(q.Pop(), std::nullopt); });
+  q.Close();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, MpmcDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 250;
+  BoundedQueue<int> q(8);  // small capacity to force blocking on both sides
+  std::atomic<long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto item = q.Pop()) {
+        sum.fetch_add(*item);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.Close();
+  for (size_t i = kProducers; i < threads.size(); ++i) threads[i].join();
+
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
 }
 
 }  // namespace

@@ -1,0 +1,416 @@
+// Concurrent-correctness tests for the query-service layer (server/):
+// N client threads issuing mixed queries through one QueryService over
+// one shared snapshot must produce results identical to the serial
+// engine and to the brute-force NaiveSearch oracle — with and without
+// the proximity cache. This suite is the TSan target in CI
+// (-DS3_SANITIZE=thread): any data race in the searcher pool, the
+// bounded queue, or the cache perturbs results or trips the sanitizer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/naive_reference.h"
+#include "core/s3k.h"
+#include "server/proximity_cache.h"
+#include "server/query_service.h"
+#include "test_fixtures.h"
+
+namespace s3::server {
+namespace {
+
+using core::BuildCandidatePlan;
+using core::CandidatePlan;
+using core::Query;
+using core::ResultEntry;
+using core::S3Instance;
+using core::S3kOptions;
+using core::S3kSearcher;
+using core::SearchStats;
+
+// Converged proximity via long matrix iteration (γ^-iters ≈ 0), the
+// same oracle construction as tests/s3k_test.cc.
+std::vector<double> ConvergedProx(const S3Instance& inst,
+                                  social::UserId seeker, double gamma,
+                                  size_t iters = 120) {
+  const auto& m = inst.matrix();
+  social::Frontier f, g;
+  f.Init(inst.layout().total());
+  g.Init(inst.layout().total());
+  std::vector<double> prox(inst.layout().total(), 0.0);
+  uint32_t row = inst.RowOfUser(seeker);
+  prox[row] = core::CGamma(gamma);
+  f.Set(row, 1.0);
+  for (size_t n = 1; n <= iters; ++n) {
+    m.Propagate(f, g);
+    std::swap(f, g);
+    if (f.nonzero.empty()) break;
+    for (uint32_t r : f.nonzero) {
+      prox[r] += core::CGamma(gamma) * f.values[r] / std::pow(gamma, double(n));
+    }
+  }
+  return prox;
+}
+
+// Exact converged score of a returned node, read off the candidate
+// plan (the plan's source lists are exactly con(d, k)).
+double ExactScore(const S3Instance& inst, const Query& q,
+                  const S3kOptions& opts, doc::NodeId node,
+                  const std::vector<double>& prox) {
+  auto plan = BuildCandidatePlan(inst, q.keywords, opts.use_semantics,
+                                 opts.score.eta);
+  EXPECT_TRUE(plan.ok());
+  for (const auto& cc : plan->per_comp) {
+    for (const core::Candidate& c : cc.candidates) {
+      if (c.node == node) return core::CandidateScore(c, prox);
+    }
+  }
+  return 0.0;
+}
+
+std::shared_ptr<const S3Instance> MakeSnapshot(uint64_t seed,
+                                               std::vector<KeywordId>* kws) {
+  s3::testing::RandomInstanceParams p;
+  p.seed = seed;
+  p.n_users = 10;
+  p.n_docs = 14;
+  p.n_tags = 10;
+  auto ri = s3::testing::BuildRandomInstance(p);
+  *kws = ri.keywords;
+  return std::shared_ptr<const S3Instance>(std::move(ri.instance));
+}
+
+// Mixed workload: 1-3 keywords, random seekers, heavy keyword repeats
+// (queries share keyword sets, like the paper's common-keyword mixes).
+// Keywords are pre-sorted so the serial searcher sees the same slot
+// order as the cache's canonical plans (bit-identical bounds).
+std::vector<Query> MakeMixedQueries(const S3Instance& inst,
+                                    const std::vector<KeywordId>& kws,
+                                    size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Query q;
+    q.seeker = static_cast<social::UserId>(rng.Uniform(inst.UserCount()));
+    const size_t l = 1 + rng.Uniform(3);
+    for (size_t j = 0; j < l; ++j) {
+      q.keywords.push_back(kws[rng.Uniform(kws.size())]);
+    }
+    std::sort(q.keywords.begin(), q.keywords.end());
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+S3kOptions TestOptions() {
+  S3kOptions opts;
+  opts.k = 5;
+  opts.score.gamma = 1.5;
+  opts.max_iterations = 400;
+  return opts;
+}
+
+// ---- core split: SearchWithPlan == Search -----------------------------
+
+TEST(CandidatePlanTest, SearchWithPlanMatchesSearch) {
+  std::vector<KeywordId> kws;
+  auto snap = MakeSnapshot(11, &kws);
+  S3kOptions opts = TestOptions();
+  S3kSearcher searcher(*snap, opts);
+  auto queries = MakeMixedQueries(*snap, kws, 12, 77);
+
+  for (const Query& q : queries) {
+    auto direct = searcher.Search(q);
+    ASSERT_TRUE(direct.ok());
+    auto plan = BuildCandidatePlan(*snap, q.keywords, opts.use_semantics,
+                                   opts.score.eta);
+    ASSERT_TRUE(plan.ok());
+    // Reuse the same plan twice: plans are immutable, so repeated
+    // searches (and searches from a second searcher) agree exactly.
+    for (int round = 0; round < 2; ++round) {
+      auto via_plan = searcher.SearchWithPlan(q, *plan);
+      ASSERT_TRUE(via_plan.ok());
+      ASSERT_EQ(via_plan->size(), direct->size());
+      for (size_t i = 0; i < direct->size(); ++i) {
+        EXPECT_EQ((*via_plan)[i].node, (*direct)[i].node);
+        EXPECT_DOUBLE_EQ((*via_plan)[i].lower, (*direct)[i].lower);
+        EXPECT_DOUBLE_EQ((*via_plan)[i].upper, (*direct)[i].upper);
+      }
+    }
+  }
+}
+
+TEST(CandidatePlanTest, RejectsBadInput) {
+  std::vector<KeywordId> kws;
+  auto snap = MakeSnapshot(12, &kws);
+  EXPECT_EQ(BuildCandidatePlan(*snap, {}, true, 0.5).status().code(),
+            StatusCode::kInvalidArgument);
+  std::vector<KeywordId> too_many(65, kws[0]);
+  EXPECT_EQ(BuildCandidatePlan(*snap, too_many, true, 0.5).status().code(),
+            StatusCode::kInvalidArgument);
+  S3Instance unfinalized;
+  EXPECT_EQ(
+      BuildCandidatePlan(unfinalized, {kws[0]}, true, 0.5).status().code(),
+      StatusCode::kFailedPrecondition);
+}
+
+// ---- proximity cache --------------------------------------------------
+
+TEST(ProximityCacheTest, KeyCanonicalizesKeywordOrder) {
+  PlanCacheKey ab = MakePlanKey({2, 1}, true, 0.5);
+  PlanCacheKey ba = MakePlanKey({1, 2}, true, 0.5);
+  EXPECT_TRUE(ab == ba);
+  EXPECT_EQ(PlanCacheKeyHash{}(ab), PlanCacheKeyHash{}(ba));
+  // Duplicates are a different multiset; parameters split keys too.
+  EXPECT_FALSE(MakePlanKey({1, 1, 2}, true, 0.5) == ab);
+  EXPECT_FALSE(MakePlanKey({1, 2}, false, 0.5) == ab);
+  EXPECT_FALSE(MakePlanKey({1, 2}, true, 0.25) == ab);
+}
+
+TEST(ProximityCacheTest, HitMissAndEvictionCounters) {
+  ProximityCache cache(/*shards=*/2, /*capacity_per_shard=*/1);
+  auto plan = std::make_shared<const CandidatePlan>();
+  PlanCacheKey key = MakePlanKey({1, 2}, true, 0.5);
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  cache.Insert(key, plan);
+  EXPECT_EQ(cache.Lookup(key), plan);
+  ProximityCacheStats s = cache.Stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_DOUBLE_EQ(s.HitRate(), 0.5);
+}
+
+// ---- service ----------------------------------------------------------
+
+TEST(QueryServiceTest, ValidatesAtSubmit) {
+  std::vector<KeywordId> kws;
+  auto snap = MakeSnapshot(13, &kws);
+  QueryServiceOptions opts;
+  opts.workers = 1;
+  opts.search = TestOptions();
+  QueryService service(snap, opts);
+
+  Query empty;
+  empty.seeker = 0;
+  EXPECT_EQ(service.Submit(empty).status().code(),
+            StatusCode::kInvalidArgument);
+
+  Query bad_seeker;
+  bad_seeker.seeker = snap->UserCount() + 5;
+  bad_seeker.keywords = {kws[0]};
+  EXPECT_EQ(service.Submit(bad_seeker).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryServiceTest, SubmitAfterShutdownFails) {
+  std::vector<KeywordId> kws;
+  auto snap = MakeSnapshot(14, &kws);
+  QueryServiceOptions opts;
+  opts.workers = 2;
+  opts.search = TestOptions();
+  QueryService service(snap, opts);
+  service.Shutdown();
+  service.Shutdown();  // idempotent
+
+  Query q;
+  q.seeker = 0;
+  q.keywords = {kws[0]};
+  EXPECT_EQ(service.Submit(std::move(q)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(QueryServiceTest, AdmissionControlAccountsEverySubmission) {
+  std::vector<KeywordId> kws;
+  auto snap = MakeSnapshot(15, &kws);
+  QueryServiceOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;  // aggressive shedding
+  opts.search = TestOptions();
+  QueryService service(snap, opts);
+
+  auto queries = MakeMixedQueries(*snap, kws, 64, 99);
+  std::vector<QueryFuture> futures;
+  size_t rejected = 0;
+  for (const Query& q : queries) {
+    auto submitted = service.Submit(q);
+    if (submitted.ok()) {
+      futures.push_back(std::move(*submitted));
+    } else {
+      // The only non-blocking refusal is transient overload.
+      EXPECT_EQ(submitted.status().code(), StatusCode::kUnavailable);
+      ++rejected;
+    }
+  }
+  for (auto& f : futures) {
+    auto response = f.get();
+    ASSERT_TRUE(response.ok());
+    EXPECT_LE(response->entries.size(), opts.search.k);
+  }
+  QueryServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.submitted, futures.size());
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.submitted + stats.rejected, queries.size());
+  EXPECT_EQ(stats.completed, futures.size());
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(QueryServiceTest, KeywordPermutationsShareOnePlan) {
+  std::vector<KeywordId> kws;
+  auto snap = MakeSnapshot(16, &kws);
+  ASSERT_GE(kws.size(), 2u);
+  QueryServiceOptions opts;
+  opts.workers = 1;
+  opts.search = TestOptions();
+  QueryService service(snap, opts);
+
+  Query ab;
+  ab.seeker = 0;
+  ab.keywords = {kws[0], kws[1]};
+  Query ba;
+  ba.seeker = 0;
+  ba.keywords = {kws[1], kws[0]};
+
+  auto fa = service.Submit(ab);
+  ASSERT_TRUE(fa.ok());
+  auto ra = fa->get();
+  ASSERT_TRUE(ra.ok());
+  auto fb = service.Submit(ba);
+  ASSERT_TRUE(fb.ok());
+  auto rb = fb->get();
+  ASSERT_TRUE(rb.ok());
+
+  // Same canonical key: the second query hits the first one's plan.
+  EXPECT_FALSE(ra->cache_hit);
+  EXPECT_TRUE(rb->cache_hit);
+  ASSERT_EQ(ra->entries.size(), rb->entries.size());
+  for (size_t i = 0; i < ra->entries.size(); ++i) {
+    EXPECT_EQ(ra->entries[i].node, rb->entries[i].node);
+    EXPECT_DOUBLE_EQ(ra->entries[i].lower, rb->entries[i].lower);
+  }
+  ASSERT_NE(service.cache(), nullptr);
+  EXPECT_EQ(service.cache()->Stats().hits, 1u);
+}
+
+// The tentpole correctness pin: N client threads of mixed queries
+// through the service == serial S3kSearcher == NaiveSearch oracle,
+// with the cache both on and off.
+class ConcurrentEquivalenceTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ConcurrentEquivalenceTest, MatchesSerialAndNaive) {
+  const bool cache_on = GetParam();
+  std::vector<KeywordId> kws;
+  auto snap = MakeSnapshot(21, &kws);
+  const S3kOptions search_opts = TestOptions();
+
+  constexpr size_t kClientThreads = 4;
+  constexpr size_t kPerThread = 16;
+  auto queries = MakeMixedQueries(*snap, kws, kClientThreads * kPerThread,
+                                  1234);
+
+  // Serial reference: one searcher, one thread of control.
+  std::vector<std::vector<ResultEntry>> serial(queries.size());
+  std::vector<bool> serial_converged(queries.size(), false);
+  {
+    S3kSearcher searcher(*snap, search_opts);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      SearchStats stats;
+      auto r = searcher.Search(queries[i], &stats);
+      ASSERT_TRUE(r.ok());
+      serial[i] = *r;
+      serial_converged[i] = stats.converged;
+    }
+  }
+
+  QueryServiceOptions opts;
+  opts.workers = 4;
+  opts.queue_capacity = 32;
+  opts.search = search_opts;
+  opts.enable_cache = cache_on;
+  opts.cache_shards = 4;
+  opts.cache_capacity_per_shard = 8;  // small: exercises eviction too
+  QueryService service(snap, opts);
+
+  std::vector<std::vector<ResultEntry>> concurrent(queries.size());
+  std::vector<std::thread> clients;
+  std::atomic<size_t> cache_hits_seen{0};
+  for (size_t t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (size_t j = 0; j < kPerThread; ++j) {
+        const size_t qi = t * kPerThread + j;
+        auto submitted = service.SubmitBlocking(queries[qi]);
+        ASSERT_TRUE(submitted.ok());
+        auto response = submitted->get();
+        ASSERT_TRUE(response.ok());
+        if (response->cache_hit) cache_hits_seen.fetch_add(1);
+        concurrent[qi] = response->entries;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  service.Shutdown();
+
+  // 1. Identical to the serial engine, node for node, bit for bit.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(concurrent[i].size(), serial[i].size()) << "query " << i;
+    for (size_t r = 0; r < serial[i].size(); ++r) {
+      EXPECT_EQ(concurrent[i][r].node, serial[i][r].node)
+          << "query " << i << " rank " << r;
+      EXPECT_DOUBLE_EQ(concurrent[i][r].lower, serial[i][r].lower);
+      EXPECT_DOUBLE_EQ(concurrent[i][r].upper, serial[i][r].upper);
+    }
+  }
+
+  // 2. Identical (up to ties) to the brute-force NaiveSearch oracle:
+  // descending exact-score multisets agree. Spot-check a stride to
+  // keep the TSan run fast.
+  for (size_t i = 0; i < queries.size(); i += 7) {
+    if (!serial_converged[i]) continue;
+    const Query& q = queries[i];
+    auto prox = ConvergedProx(*snap, q.seeker, search_opts.score.gamma);
+    auto oracle = core::NaiveSearchWithProx(*snap, q, search_opts, prox);
+    ASSERT_EQ(concurrent[i].size(), oracle.size()) << "query " << i;
+    std::vector<double> got, want;
+    for (size_t r = 0; r < oracle.size(); ++r) {
+      got.push_back(
+          ExactScore(*snap, q, search_opts, concurrent[i][r].node, prox));
+      want.push_back(oracle[r].lower);
+    }
+    std::sort(got.rbegin(), got.rend());
+    std::sort(want.rbegin(), want.rend());
+    for (size_t r = 0; r < want.size(); ++r) {
+      EXPECT_NEAR(got[r], want[r], 1e-7) << "query " << i << " rank " << r;
+    }
+  }
+
+  QueryServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, queries.size());
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(service.latency().count(), queries.size());
+  if (cache_on) {
+    ASSERT_NE(service.cache(), nullptr);
+    // The mixed workload repeats keyword sets, so the cache must get
+    // real traffic.
+    EXPECT_GT(cache_hits_seen.load(), 0u);
+    EXPECT_EQ(service.cache()->Stats().hits, cache_hits_seen.load());
+  } else {
+    EXPECT_EQ(service.cache(), nullptr);
+    EXPECT_EQ(cache_hits_seen.load(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CacheOnOff, ConcurrentEquivalenceTest,
+                         ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "CacheOn" : "CacheOff";
+                         });
+
+}  // namespace
+}  // namespace s3::server

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json against a committed baseline.
+
+Reads both google-benchmark output ({"benchmarks": [{"name",
+"real_time", "time_unit", ...}]}) and the BenchJsonWriter format the
+figure harnesses emit ({"benchmarks": [{"name", "ns_per_op", ...}]}).
+Benchmarks present in both files are compared on ns/op; a benchmark
+slower than baseline by more than --tolerance (default 25%) counts as
+a regression and flips the exit code to 1.
+
+Wired as a *non-blocking* CI step (continue-on-error): shared-runner
+perf is advisory. Locally:
+
+    ./build/bench_micro --benchmark_out=build/BENCH_micro.json \
+        --benchmark_out_format=json
+    tools/check_bench_regression.py --fresh build/BENCH_micro.json
+
+To refresh the baseline after an intentional perf change, overwrite
+bench/baselines/BENCH_micro.json with the fresh file and commit it.
+
+Baselines are machine-relative: numbers from a different host class
+shift uniformly and the ratio check absorbs part of that, but for a
+trustworthy CI comparison the baseline should be refreshed from the
+CI job's own uploaded bench-json artifact rather than a developer
+machine. (This, plus shared-runner noise, is why the CI step is
+advisory rather than blocking.)
+"""
+
+import argparse
+import json
+import os
+import sys
+
+_UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "bench", "baselines",
+                                "BENCH_micro.json")
+
+
+def load_ns_per_op(path):
+    """Returns {benchmark name: ns/op} from either supported format."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for record in doc.get("benchmarks", []):
+        name = record.get("name")
+        if name is None:
+            continue
+        # google-benchmark emits aggregate rows (mean/median/stddev)
+        # alongside iteration rows when repetitions are configured;
+        # compare only the plain iteration rows.
+        if record.get("run_type", "iteration") != "iteration":
+            continue
+        if "ns_per_op" in record:  # BenchJsonWriter format
+            out[name] = float(record["ns_per_op"])
+        elif "real_time" in record:  # google-benchmark format
+            unit = _UNIT_TO_NS.get(record.get("time_unit", "ns"))
+            if unit is None:
+                continue
+            out[name] = float(record["real_time"]) * unit
+    return out
+
+
+def format_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return "%.2f%s" % (ns / scale, unit)
+    return "%.0fns" % ns
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Benchmark regression check against a committed "
+                    "baseline.")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="committed baseline JSON "
+                             "(default: bench/baselines/BENCH_micro.json)")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly produced BENCH JSON to check")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed slowdown as a fraction "
+                             "(default 0.25 = 25%%)")
+    args = parser.parse_args()
+
+    if not os.path.exists(args.baseline):
+        print("no baseline at %s — nothing to compare (ok)" % args.baseline)
+        return 0
+    baseline = load_ns_per_op(args.baseline)
+    fresh = load_ns_per_op(args.fresh)
+
+    common = sorted(set(baseline) & set(fresh))
+    if not common:
+        print("ERROR: no benchmarks in common between %s and %s"
+              % (args.baseline, args.fresh))
+        return 1
+
+    regressions, improvements = [], []
+    width = max(len(n) for n in common)
+    print("%-*s %10s %10s %8s" % (width, "benchmark", "baseline", "fresh",
+                                  "ratio"))
+    for name in common:
+        ratio = fresh[name] / baseline[name] if baseline[name] > 0 else 1.0
+        flag = ""
+        if ratio > 1.0 + args.tolerance:
+            regressions.append((name, ratio))
+            flag = "  << REGRESSION"
+        elif ratio < 1.0 - args.tolerance:
+            improvements.append((name, ratio))
+            flag = "  (improved)"
+        print("%-*s %10s %10s %7.2fx%s"
+              % (width, name, format_ns(baseline[name]),
+                 format_ns(fresh[name]), ratio, flag))
+
+    only_base = sorted(set(baseline) - set(fresh))
+    only_fresh = sorted(set(fresh) - set(baseline))
+    if only_base:
+        print("missing from fresh run (%d): %s"
+              % (len(only_base), ", ".join(only_base)))
+    if only_fresh:
+        print("new benchmarks (%d, no baseline yet): %s"
+              % (len(only_fresh), ", ".join(only_fresh)))
+
+    print()
+    if regressions:
+        print("FAIL: %d benchmark(s) regressed beyond %.0f%%:"
+              % (len(regressions), args.tolerance * 100))
+        for name, ratio in regressions:
+            print("  %s: %.2fx" % (name, ratio))
+        return 1
+    print("OK: %d benchmark(s) within %.0f%% of baseline (%d improved)"
+          % (len(common), args.tolerance * 100, len(improvements)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
