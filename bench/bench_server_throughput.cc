@@ -95,6 +95,11 @@ RunResult RunTrace(std::shared_ptr<const core::S3Instance> snapshot,
 }  // namespace
 
 int main() {
+  // Starts BENCH_server.json fresh; bench_update_throughput, run
+  // *after* this binary, merges its records in. Running the pair in
+  // that order therefore never carries over records from earlier runs
+  // (renamed configs, different S3_BENCH_SCALE) into a file someone
+  // might promote to the committed baseline.
   bench::BenchJsonWriter json("BENCH_server.json");
 
   std::printf("== server throughput: worker sweep x proximity cache ==\n");

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "baseline/flatten.h"
@@ -45,9 +46,15 @@ inline uint32_t Scaled(uint32_t base) {
 // ({"benchmarks": [{"name", "ns_per_op", ...}]}), so BENCH_*.json files
 // from the figure harnesses and from bench_micro can be diffed with the
 // same tooling. Records are flushed on destruction.
+//
+// With merge = true the writer keeps the records already present in
+// `path` whose names this run does not re-emit, so several bench
+// binaries (e.g. bench_server_throughput and bench_update_throughput)
+// can contribute to one file regardless of run order.
 class BenchJsonWriter {
  public:
-  explicit BenchJsonWriter(std::string path) : path_(std::move(path)) {}
+  explicit BenchJsonWriter(std::string path, bool merge = false)
+      : path_(std::move(path)), merge_(merge) {}
 
   // One record; `extra` is a pre-rendered list of additional JSON
   // fields, e.g. "\"k\": 5, \"gamma\": 1.5".
@@ -62,6 +69,7 @@ class BenchJsonWriter {
   }
 
   ~BenchJsonWriter() {
+    if (merge_) MergeExisting();
     std::ofstream out(path_);
     if (!out) return;
     out << "{\n  \"benchmarks\": [\n";
@@ -74,7 +82,41 @@ class BenchJsonWriter {
   }
 
  private:
+  // "    {\"name\": \"X\", ..." -> X ("" when not a record line).
+  static std::string RecordName(const std::string& line) {
+    const std::string marker = "{\"name\": \"";
+    size_t at = line.find(marker);
+    if (at == std::string::npos) return "";
+    at += marker.size();
+    size_t end = line.find('"', at);
+    return end == std::string::npos ? "" : line.substr(at, end - at);
+  }
+
+  // Prepends the previous run's records that this run does not
+  // replace. Only lines in this writer's own one-record-per-line
+  // format are recognized — good enough, since merge mode is for
+  // sibling BenchJsonWriter binaries sharing one file.
+  void MergeExisting() {
+    std::ifstream in(path_);
+    if (!in) return;
+    std::unordered_set<std::string> fresh;
+    for (const std::string& r : records_) fresh.insert(RecordName(r));
+    std::vector<std::string> kept;
+    std::string line;
+    while (std::getline(in, line)) {
+      std::string name = RecordName(line);
+      if (name.empty() || fresh.count(name)) continue;
+      while (!line.empty() &&
+             (line.back() == ',' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      kept.push_back(line);
+    }
+    records_.insert(records_.begin(), kept.begin(), kept.end());
+  }
+
   std::string path_;
+  bool merge_;
   std::vector<std::string> records_;
 };
 

@@ -1,7 +1,6 @@
 #include "baseline/uit.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace s3::baseline {
 
@@ -16,12 +15,15 @@ ItemId UitInstance::AddItem() {
 }
 
 void UitInstance::AddUserLink(uint32_t from, uint32_t to, double weight) {
-  assert(from < links_.size() && to < links_.size());
+  // Caller input: must stay guarded in Release builds too (an assert
+  // alone would leave links_[from] indexing out of bounds under
+  // NDEBUG). Out-of-range endpoints are dropped.
+  if (from >= links_.size() || to >= links_.size()) return;
   links_[from].push_back(UserLink{to, static_cast<float>(weight)});
 }
 
 void UitInstance::AddTriple(uint32_t user, ItemId item, KeywordId tag) {
-  assert(user < links_.size() && item < n_items_);
+  if (user >= links_.size() || item >= n_items_) return;
   auto& tg = taggers_[Key(item, tag)];
   if (std::find(tg.begin(), tg.end(), user) != tg.end()) return;
   tg.push_back(user);

@@ -1,0 +1,30 @@
+// Clone-before-mutate helper for shared_ptr-held copy-on-write state.
+//
+// The live-update pipeline copies whole stores between snapshot
+// generations by copying shared_ptr spines; any mutation must first
+// clone a payload that another generation still references. The base
+// snapshot always retains its own reference, so use_count() == 1
+// proves the calling owner has exclusive access (mutation only ever
+// happens single-threaded, at population/apply time).
+#ifndef S3_COMMON_COW_H_
+#define S3_COMMON_COW_H_
+
+#include <memory>
+
+namespace s3 {
+
+// Returns a mutable reference to *slot, first cloning the payload when
+// it is shared (or default-constructing it when absent).
+template <typename T>
+T& MutableCow(std::shared_ptr<T>& slot) {
+  if (slot == nullptr) {
+    slot = std::make_shared<T>();
+  } else if (slot.use_count() > 1) {
+    slot = std::make_shared<T>(*slot);
+  }
+  return *slot;
+}
+
+}  // namespace s3
+
+#endif  // S3_COMMON_COW_H_

@@ -59,6 +59,24 @@ class LruCache {
 
   bool Contains(const K& key) const { return index_.count(key) != 0; }
 
+  // Erases every entry satisfying pred(key, value); returns how many.
+  // Targeted invalidation (e.g. stale-generation purges) — not counted
+  // as capacity evictions.
+  template <typename Pred>
+  size_t EraseIf(Pred pred) {
+    size_t erased = 0;
+    for (auto it = items_.begin(); it != items_.end();) {
+      if (pred(it->first, it->second)) {
+        index_.erase(it->first);
+        it = items_.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+    return erased;
+  }
+
   size_t size() const { return items_.size(); }
   size_t capacity() const { return capacity_; }
   size_t evictions() const { return evictions_; }

@@ -1,16 +1,15 @@
 #include "common/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace s3 {
 
 namespace {
 
+// Precondition (internal): sorted is non-empty, q in [0, 1] — both
+// established by the public wrappers below.
 double SortedQuantile(const std::vector<double>& sorted, double q) {
-  assert(!sorted.empty());
-  assert(q >= 0.0 && q <= 1.0);
   if (sorted.size() == 1) return sorted[0];
   double pos = q * static_cast<double>(sorted.size() - 1);
   size_t lo = static_cast<size_t>(std::floor(pos));
@@ -19,18 +18,29 @@ double SortedQuantile(const std::vector<double>& sorted, double q) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+double ClampQ(double q) {
+  // NaN slips through std::clamp (all comparisons false) and would
+  // turn into a garbage index downstream; pin it like any other
+  // out-of-range caller input.
+  if (std::isnan(q)) return 0.0;
+  return std::clamp(q, 0.0, 1.0);
+}
+
 }  // namespace
 
 double Quantile(std::vector<double> values, double q) {
+  // Empty input is caller data, not a programming error: an assert
+  // would vanish under NDEBUG and leave sorted[0] reading off the end.
+  if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());
-  return SortedQuantile(values, q);
+  return SortedQuantile(values, ClampQ(q));
 }
 
 QuartileSummary Summarize(const std::vector<double>& values) {
-  assert(!values.empty());
+  QuartileSummary s;
+  if (values.empty()) return s;  // all zeros, count == 0
   std::vector<double> sorted = values;
   std::sort(sorted.begin(), sorted.end());
-  QuartileSummary s;
   s.min = sorted.front();
   s.q1 = SortedQuantile(sorted, 0.25);
   s.median = SortedQuantile(sorted, 0.5);
@@ -41,7 +51,7 @@ QuartileSummary Summarize(const std::vector<double>& values) {
 }
 
 double Mean(const std::vector<double>& values) {
-  assert(!values.empty());
+  if (values.empty()) return 0.0;
   double sum = 0.0;
   for (double v : values) sum += v;
   return sum / static_cast<double>(values.size());

@@ -19,14 +19,17 @@ struct QuartileSummary {
 };
 
 // Linear-interpolation quantile (type-7, the numpy default) of an
-// unsorted sample. Precondition: !values.empty(), 0 <= q <= 1.
+// unsorted sample. q is clamped to [0, 1] (NaN counts as 0). Returns
+// 0.0 on an empty sample: these helpers take caller-supplied (often
+// measured) data, so empty input must be a defined case, not UB behind
+// an assert that Release builds compile out.
 double Quantile(std::vector<double> values, double q);
 
-// Computes min/Q1/median/Q3/max of a sample.
-// Precondition: !values.empty().
+// Computes min/Q1/median/Q3/max of a sample. Returns an all-zero
+// summary (count == 0) on an empty sample.
 QuartileSummary Summarize(const std::vector<double>& values);
 
-// Arithmetic mean. Precondition: !values.empty().
+// Arithmetic mean; 0.0 on an empty sample.
 double Mean(const std::vector<double>& values);
 
 }  // namespace s3

@@ -1,0 +1,208 @@
+#include "core/instance_delta.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "text/tokenizer.h"
+
+namespace s3::core {
+
+InstanceDelta::InstanceDelta(std::shared_ptr<const S3Instance> base)
+    : base_(std::move(base)) {
+  assert(base_ != nullptr && base_->finalized() &&
+         "InstanceDelta requires a finalized base snapshot");
+}
+
+Status InstanceDelta::CheckBase() const {
+  // Caller input must stay guarded in Release builds too (the ctor
+  // assert vanishes under NDEBUG): a null or unfinalized base turns
+  // every operation into an error instead of a null deref / garbage
+  // combined-id math.
+  if (base_ == nullptr || !base_->finalized()) {
+    return Status::FailedPrecondition(
+        "InstanceDelta requires a finalized base snapshot");
+  }
+  return Status::OK();
+}
+
+size_t InstanceDelta::CombinedDocCount() const {
+  return base_->docs().DocumentCount() + docs_.size();
+}
+
+size_t InstanceDelta::CombinedNodeCount() const {
+  return base_->docs().NodeCount() + new_nodes_;
+}
+
+size_t InstanceDelta::CombinedTagCount() const {
+  return base_->TagCount() + tags_.size();
+}
+
+size_t InstanceDelta::CombinedKeywordCount() const {
+  return base_->vocabulary().size() + spellings_.size();
+}
+
+doc::DocId InstanceDelta::CombinedDocOf(doc::NodeId node) const {
+  const size_t base_nodes = base_->docs().NodeCount();
+  if (node < base_nodes) return base_->docs().DocOf(node);
+  if (node >= CombinedNodeCount()) return doc::kInvalidDoc;
+  // Delta nodes are assigned densely per document; doc_first_node_ is
+  // ascending, so the owner is the last doc whose first node is <= node.
+  auto it = std::upper_bound(doc_first_node_.begin(),
+                             doc_first_node_.end(), node);
+  const size_t idx = static_cast<size_t>(it - doc_first_node_.begin());
+  return static_cast<doc::DocId>(base_->docs().DocumentCount() + idx - 1);
+}
+
+Status InstanceDelta::ValidateKeyword(KeywordId keyword) const {
+  if (keyword == kInvalidKeyword) return Status::OK();
+  if (keyword >= CombinedKeywordCount()) {
+    return Status::InvalidArgument("keyword id out of range for delta");
+  }
+  return Status::OK();
+}
+
+KeywordId InstanceDelta::InternKeyword(std::string_view keyword) {
+  if (!CheckBase().ok()) return kInvalidKeyword;
+  KeywordId known = base_->vocabulary().Find(keyword);
+  if (known != kInvalidKeyword) return known;
+  auto it = overlay_index_.find(std::string(keyword));
+  if (it != overlay_index_.end()) return it->second;
+  KeywordId id = static_cast<KeywordId>(base_->vocabulary().size() +
+                                        spellings_.size());
+  spellings_.emplace_back(keyword);
+  overlay_index_.emplace(spellings_.back(), id);
+  return id;
+}
+
+std::vector<KeywordId> InstanceDelta::InternText(std::string_view text) {
+  std::vector<KeywordId> out;
+  for (const std::string& word : ExtractKeywords(text)) {
+    out.push_back(InternKeyword(word));
+  }
+  return out;
+}
+
+Result<doc::DocId> InstanceDelta::AddDocument(doc::Document document,
+                                              std::string uri,
+                                              social::UserId poster) {
+  S3_RETURN_IF_ERROR(CheckBase());
+  if (poster >= base_->UserCount()) {
+    return Status::InvalidArgument("unknown poster user id");
+  }
+  if (base_->docs().FindByUri(uri).ok() || new_uris_.contains(uri)) {
+    return Status::AlreadyExists("document URI already registered: " + uri);
+  }
+  for (uint32_t local = 0; local < document.NodeCount(); ++local) {
+    for (KeywordId k : document.node(local).keywords) {
+      S3_RETURN_IF_ERROR(ValidateKeyword(k));
+    }
+  }
+  doc::DocId id = static_cast<doc::DocId>(CombinedDocCount());
+  doc_first_node_.push_back(
+      static_cast<doc::NodeId>(CombinedNodeCount()));
+  new_nodes_ += document.NodeCount();
+  new_uris_.insert(uri);
+  order_.push_back(OpKind::kDocument);
+  docs_.push_back(DocOp{std::move(document), std::move(uri), poster});
+  return id;
+}
+
+Status InstanceDelta::AddComment(doc::DocId comment, doc::NodeId target) {
+  S3_RETURN_IF_ERROR(CheckBase());
+  if (comment >= CombinedDocCount() || target >= CombinedNodeCount()) {
+    return Status::InvalidArgument("unknown document or node in AddComment");
+  }
+  if (CombinedDocOf(target) == comment) {
+    return Status::InvalidArgument("a document cannot comment on itself");
+  }
+  order_.push_back(OpKind::kComment);
+  comments_.push_back(CommentOp{comment, target});
+  return Status::OK();
+}
+
+Result<social::TagId> InstanceDelta::AddTagOnFragment(social::UserId author,
+                                                      doc::NodeId subject,
+                                                      KeywordId keyword) {
+  S3_RETURN_IF_ERROR(CheckBase());
+  if (author >= base_->UserCount()) {
+    return Status::InvalidArgument("unknown tag author");
+  }
+  if (subject >= CombinedNodeCount()) {
+    return Status::InvalidArgument("unknown tag subject node");
+  }
+  S3_RETURN_IF_ERROR(ValidateKeyword(keyword));
+  social::TagId id = static_cast<social::TagId>(CombinedTagCount());
+  order_.push_back(OpKind::kTag);
+  tags_.push_back(TagOp{author, subject, keyword, /*on_tag=*/false});
+  return id;
+}
+
+Result<social::TagId> InstanceDelta::AddTagOnTag(social::UserId author,
+                                                 social::TagId subject,
+                                                 KeywordId keyword) {
+  S3_RETURN_IF_ERROR(CheckBase());
+  if (author >= base_->UserCount()) {
+    return Status::InvalidArgument("unknown tag author");
+  }
+  if (subject >= CombinedTagCount()) {
+    return Status::InvalidArgument("unknown subject tag");
+  }
+  S3_RETURN_IF_ERROR(ValidateKeyword(keyword));
+  social::TagId id = static_cast<social::TagId>(CombinedTagCount());
+  order_.push_back(OpKind::kTag);
+  tags_.push_back(TagOp{author, subject, keyword, /*on_tag=*/true});
+  return id;
+}
+
+Status InstanceDelta::AddSocialEdge(social::UserId from, social::UserId to,
+                                    double weight) {
+  S3_RETURN_IF_ERROR(CheckBase());
+  if (from >= base_->UserCount() || to >= base_->UserCount()) {
+    return Status::InvalidArgument("unknown user id in social edge");
+  }
+  if (!(weight > 0.0 && weight <= 1.0)) {
+    return Status::InvalidArgument("social edge weight must be in (0,1]");
+  }
+  order_.push_back(OpKind::kSocial);
+  socials_.push_back(SocialOp{from, to, weight});
+  return Status::OK();
+}
+
+Status InstanceDelta::Replay(S3Instance& target) const {
+  size_t di = 0, ci = 0, ti = 0, si = 0;
+  for (OpKind kind : order_) {
+    switch (kind) {
+      case OpKind::kDocument: {
+        const DocOp& op = docs_[di++];
+        Result<doc::DocId> added =
+            target.AddDocument(op.document, op.uri, op.poster);
+        if (!added.ok()) return added.status();
+        break;
+      }
+      case OpKind::kComment: {
+        const CommentOp& op = comments_[ci++];
+        S3_RETURN_IF_ERROR(target.AddComment(op.comment, op.target));
+        break;
+      }
+      case OpKind::kTag: {
+        const TagOp& op = tags_[ti++];
+        Result<social::TagId> added =
+            op.on_tag
+                ? target.AddTagOnTag(op.author, op.subject, op.keyword)
+                : target.AddTagOnFragment(op.author, op.subject,
+                                          op.keyword);
+        if (!added.ok()) return added.status();
+        break;
+      }
+      case OpKind::kSocial: {
+        const SocialOp& op = socials_[si++];
+        S3_RETURN_IF_ERROR(
+            target.AddSocialEdge(op.from, op.to, op.weight));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace s3::core

@@ -1,8 +1,12 @@
 #include "core/s3_instance.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <unordered_set>
 
+#include "common/cow.h"
+#include "core/instance_delta.h"
 #include "rdf/vocab.h"
 
 namespace s3::core {
@@ -16,13 +20,15 @@ const std::vector<doc::NodeId> kNoComments;
 const std::vector<social::ComponentId> kNoComponents;
 }  // namespace
 
-S3Instance::S3Instance() {
+S3Instance::S3Instance()
+    : terms_(std::make_shared<rdf::TermDictionary>()),
+      rdf_(std::make_shared<rdf::TripleStore>()) {
   // Pre-intern the S3 vocabulary and its RDFS wiring so that user
   // ontologies can specialize S3 properties (paper §2.2 Extensibility).
-  rdf::TermId social_p = terms_.InternUri(rdf::vocab::kSocial);
-  rdf::TermId comments_p = terms_.InternUri(rdf::vocab::kCommentsOn);
-  rdf::TermId posted_p = terms_.InternUri(rdf::vocab::kPostedBy);
-  rdf::TermId related_c = terms_.InternUri(rdf::vocab::kRelatedTo);
+  rdf::TermId social_p = terms_->InternUri(rdf::vocab::kSocial);
+  rdf::TermId comments_p = terms_->InternUri(rdf::vocab::kCommentsOn);
+  rdf::TermId posted_p = terms_->InternUri(rdf::vocab::kPostedBy);
+  rdf::TermId related_c = terms_->InternUri(rdf::vocab::kRelatedTo);
   (void)social_p;
   (void)comments_p;
   (void)posted_p;
@@ -33,9 +39,9 @@ social::UserId S3Instance::AddUser(std::string uri) {
   social::UserId id = static_cast<social::UserId>(users_.size());
   users_.push_back(User{id, std::move(uri)});
   // u type S3:user
-  rdf_.Add(terms_.InternUri(users_.back().uri),
-           terms_.InternUri(rdf::vocab::kType),
-           terms_.InternUri(rdf::vocab::kUserClass));
+  rdf_->Add(terms_->InternUri(users_.back().uri),
+            terms_->InternUri(rdf::vocab::kType),
+            terms_->InternUri(rdf::vocab::kUserClass));
   return id;
 }
 
@@ -139,21 +145,23 @@ Result<social::TagId> S3Instance::AddTagOnTag(social::UserId author,
 
 void S3Instance::DeclareSubClass(const std::string& sub,
                                  const std::string& super) {
-  rdf_.Add(terms_.InternUri(sub), terms_.InternUri(rdf::vocab::kSubClassOf),
-           terms_.InternUri(super));
+  rdf_->Add(terms_->InternUri(sub),
+            terms_->InternUri(rdf::vocab::kSubClassOf),
+            terms_->InternUri(super));
 }
 
 void S3Instance::DeclareSubProperty(const std::string& sub,
                                     const std::string& super) {
-  rdf_.Add(terms_.InternUri(sub),
-           terms_.InternUri(rdf::vocab::kSubPropertyOf),
-           terms_.InternUri(super));
+  rdf_->Add(terms_->InternUri(sub),
+            terms_->InternUri(rdf::vocab::kSubPropertyOf),
+            terms_->InternUri(super));
 }
 
 void S3Instance::DeclareType(const std::string& instance,
                              const std::string& klass) {
-  rdf_.Add(terms_.InternUri(instance), terms_.InternUri(rdf::vocab::kType),
-           terms_.InternUri(klass));
+  rdf_->Add(terms_->InternUri(instance),
+            terms_->InternUri(rdf::vocab::kType),
+            terms_->InternUri(klass));
 }
 
 std::vector<KeywordId> S3Instance::InternText(std::string_view text) {
@@ -174,21 +182,21 @@ Status S3Instance::RequireNotFinalized(const char* op) const {
 Status S3Instance::Finalize() {
   S3_RETURN_IF_ERROR(RequireNotFinalized("Finalize"));
   // 1. RDFS closure; the semantics of the graph is its saturation.
-  saturation_stats_ = rdf::Saturate(terms_, rdf_);
+  saturation_stats_ = rdf::Saturate(*terms_, *rdf_);
 
   // 1b. Extensibility (paper §2.2): RDF-declared social relationships
   // join the network. After saturation, any specialization p ≺sp
   // S3:social has already propagated its assertions to S3:social
   // itself, so scanning S3:social triples suffices.
   {
-    rdf::TermId social_p = terms_.InternUri(rdf::vocab::kSocial);
-    rdf::TermId sub_p = terms_.InternUri(rdf::vocab::kSubPropertyOf);
+    rdf::TermId social_p = terms_->InternUri(rdf::vocab::kSocial);
+    rdf::TermId sub_p = terms_->InternUri(rdf::vocab::kSubPropertyOf);
     std::unordered_map<std::string, social::UserId> user_of_uri;
     for (const User& u : users_) user_of_uri.emplace(u.uri, u.id);
     auto import_triple = [&](const rdf::Triple& t) {
-      if (terms_.Kind(t.object) != rdf::TermKind::kUri) return;
-      auto from = user_of_uri.find(terms_.Text(t.subject));
-      auto to = user_of_uri.find(terms_.Text(t.object));
+      if (terms_->Kind(t.object) != rdf::TermKind::kUri) return;
+      auto from = user_of_uri.find(terms_->Text(t.subject));
+      auto to = user_of_uri.find(terms_->Text(t.object));
       if (from == user_of_uri.end() || to == user_of_uri.end()) return;
       if (!(t.weight > 0.0 && t.weight <= 1.0)) return;
       edges_.Add(social::EntityId::User(from->second),
@@ -200,14 +208,14 @@ Status S3Instance::Finalize() {
     // S3:social by saturation; weighted assertions are not (inference
     // is restricted to weight 1), so pick them up from each
     // specialization directly.
-    for (uint32_t idx : rdf_.WithProperty(social_p)) {
-      import_triple(rdf_.triples()[idx]);
+    for (uint32_t idx : rdf_->WithProperty(social_p)) {
+      import_triple(rdf_->triples()[idx]);
     }
-    for (uint32_t sub_idx : rdf_.WithPropertyObject(sub_p, social_p)) {
-      rdf::TermId p = rdf_.triples()[sub_idx].subject;
+    for (uint32_t sub_idx : rdf_->WithPropertyObject(sub_p, social_p)) {
+      rdf::TermId p = rdf_->triples()[sub_idx].subject;
       if (p == social_p) continue;
-      for (uint32_t idx : rdf_.WithProperty(p)) {
-        const rdf::Triple& t = rdf_.triples()[idx];
+      for (uint32_t idx : rdf_->WithProperty(p)) {
+        const rdf::Triple& t = rdf_->triples()[idx];
         if (t.weight != 1.0) import_triple(t);
       }
     }
@@ -229,22 +237,24 @@ Status S3Instance::Finalize() {
   // keyworded with k).
   comps_with_keyword_.clear();
   for (KeywordId k : index_.Keywords()) {
-    auto& comps = comps_with_keyword_[k];
+    auto& comps = CompsWithKeywordSlot(k);
     for (doc::NodeId n : index_.Postings(k)) {
       comps.push_back(components_.Of(EntityId::Fragment(n)));
     }
   }
   for (const Tag& tag : tags_) {
     if (tag.keyword == kInvalidKeyword) continue;
-    comps_with_keyword_[tag.keyword].push_back(
-        components_.Of(EntityId::Tag(tag.id)));
+    CompsWithKeywordSlot(tag.keyword)
+        .push_back(components_.Of(EntityId::Tag(tag.id)));
   }
   for (auto& [k, comps] : comps_with_keyword_) {
-    std::sort(comps.begin(), comps.end());
-    comps.erase(std::unique(comps.begin(), comps.end()), comps.end());
+    std::sort(comps->begin(), comps->end());
+    comps->erase(std::unique(comps->begin(), comps->end()), comps->end());
   }
 
   finalized_ = true;
+  static std::atomic<uint64_t> next_lineage{1};
+  lineage_ = next_lineage.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -272,25 +282,174 @@ doc::NodeId S3Instance::CommentTarget(doc::DocId d) const {
 std::vector<KeywordId> S3Instance::ExtendKeyword(KeywordId k) const {
   std::vector<KeywordId> out{k};
   const std::string& spelling = vocabulary_.Spelling(k);
-  rdf::TermId term = terms_.Find(spelling, rdf::TermKind::kUri);
+  rdf::TermId term = terms_->Find(spelling, rdf::TermKind::kUri);
   if (term == rdf::kInvalidTerm) {
     // Literals can also be extension anchors (e.g. a class lexicalized
     // by a plain word).
-    term = terms_.Find(spelling, rdf::TermKind::kLiteral);
+    term = terms_->Find(spelling, rdf::TermKind::kLiteral);
   }
   if (term == rdf::kInvalidTerm) return out;
-  for (rdf::TermId t : rdf::Extension(terms_, rdf_, term)) {
+  for (rdf::TermId t : rdf::Extension(*terms_, *rdf_, term)) {
     if (t == term) continue;
-    KeywordId kid = vocabulary_.Find(terms_.Text(t));
+    KeywordId kid = vocabulary_.Find(terms_->Text(t));
     if (kid != kInvalidKeyword && kid != k) out.push_back(kid);
   }
   return out;
 }
 
+std::vector<social::ComponentId>& S3Instance::CompsWithKeywordSlot(
+    KeywordId k) {
+  return MutableCow(comps_with_keyword_[k]);
+}
+
+Result<std::shared_ptr<const S3Instance>> S3Instance::ApplyDelta(
+    const InstanceDelta& delta) const {
+  if (!finalized_) {
+    return Status::FailedPrecondition("ApplyDelta on unfinalized instance");
+  }
+  if (delta.base().get() != this) {
+    return Status::InvalidArgument(
+        "delta was built against a different snapshot (generation " +
+        std::to_string(delta.base_generation()) + ")");
+  }
+
+  // Pre-delta population marks, captured before any mutation.
+  const uint32_t old_users = static_cast<uint32_t>(users_.size());
+  const uint32_t old_nodes = static_cast<uint32_t>(docs_.NodeCount());
+  const uint32_t old_tags = static_cast<uint32_t>(tags_.size());
+  const doc::DocId first_new_doc =
+      static_cast<doc::DocId>(docs_.DocumentCount());
+  const uint32_t first_new_edge = static_cast<uint32_t>(edges_.size());
+  std::vector<uint32_t> old_comp_rep;
+  old_comp_rep.reserve(components_.ComponentCount());
+  for (social::ComponentId c = 0; c < components_.ComponentCount(); ++c) {
+    old_comp_rep.push_back(components_.Members(c).front());
+  }
+
+  // Structure-sharing copy, then replay the delta's operations through
+  // the ordinary population API (identical ordering and validation to
+  // a from-scratch rebuild of base ops + delta ops).
+  std::shared_ptr<S3Instance> next(new S3Instance(*this));
+  next->finalized_ = false;
+  for (const std::string& spelling : delta.new_spellings()) {
+    next->vocabulary_.Intern(spelling);
+  }
+  S3_RETURN_IF_ERROR(delta.Replay(*next));
+  S3_RETURN_IF_ERROR(next->FinalizeIncremental(old_users, old_nodes,
+                                               old_tags, first_new_doc,
+                                               first_new_edge,
+                                               old_comp_rep));
+  next->generation_ = generation_ + 1;
+  return std::shared_ptr<const S3Instance>(std::move(next));
+}
+
+Status S3Instance::FinalizeIncremental(
+    uint32_t old_users, uint32_t old_nodes, uint32_t old_tags,
+    doc::DocId first_new_doc, uint32_t first_new_edge,
+    const std::vector<uint32_t>& old_comp_rep) {
+  if (users_.size() != old_users) {
+    return Status::Internal("deltas cannot add users");
+  }
+  const uint32_t new_nodes = static_cast<uint32_t>(docs_.NodeCount());
+  const uint32_t n_new_frag = new_nodes - old_nodes;
+  const uint32_t old_tag_base = old_users + old_nodes;
+
+  // Saturation and the RDF social-edge import are skipped: deltas add
+  // no triples, so the shared saturated graph is already final. (This
+  // is also where exact rebuild equivalence gets its one caveat: a
+  // rebuild appends RDF-imported social edges *after* the delta's
+  // edges, so with rdf_social_edges() > 0 the edge log orders differ —
+  // same edge multiset, but parallel-edge float accumulation may
+  // differ in the last ulp.)
+
+  // Layout over the grown populations; tag rows shift by n_new_frag.
+  layout_.emplace(static_cast<uint32_t>(users_.size()),
+                  static_cast<uint32_t>(docs_.NodeCount()),
+                  static_cast<uint32_t>(tags_.size()));
+
+  // Inverted index: append the new nodes' postings (copy-on-write).
+  index_.AppendNodes(docs_, old_nodes);
+
+  // Transition matrix: recompute only rows whose neighborhood gained
+  // an out-edge (a new edge from entity s touches row(s), and — since
+  // fragment rows also normalize over their vertical neighbors — the
+  // rows of s's vertical neighborhood); splice everything else.
+  std::vector<char> touched(layout_->total(), 0);
+  for (uint32_t idx = first_new_edge; idx < edges_.size(); ++idx) {
+    const social::NetEdge& e = edges_.edge(idx);
+    touched[layout_->Row(e.source)] = 1;
+    if (e.source.kind() == social::EntityKind::kFragment) {
+      for (doc::NodeId v : docs_.VerticalNeighbors(e.source.index())) {
+        touched[layout_->Row(EntityId::Fragment(v))] = 1;
+      }
+    }
+  }
+  matrix_.IncrementalUpdate(*layout_, edges_, docs_, touched, old_tag_base,
+                            n_new_frag);
+
+  // Component re-discovery for touched vertices: extend the persisted
+  // union-find with the delta's partOf clusters and linking edges.
+  components_.BuildIncremental(*layout_, edges_, docs_, first_new_doc,
+                               first_new_edge, old_tag_base, n_new_frag);
+
+  // Keyword -> component directory. Old component ids survive unless
+  // the delta merged pre-existing components (a new comment or tag
+  // chain bridging two of them); detect that via the representatives
+  // and remap wholesale only then.
+  std::vector<social::ComponentId> old_to_new(old_comp_rep.size());
+  bool ids_changed = false;
+  for (social::ComponentId c = 0; c < old_comp_rep.size(); ++c) {
+    const uint32_t rep = old_comp_rep[c];
+    const uint32_t new_rep = rep < old_tag_base ? rep : rep + n_new_frag;
+    old_to_new[c] = components_.OfRow(new_rep);
+    ids_changed |= old_to_new[c] != c;
+  }
+  std::unordered_set<KeywordId> dirty_keys;
+  if (ids_changed) {
+    for (auto& [k, comps] : comps_with_keyword_) {
+      // Clone only lists the remap actually changes — most keywords
+      // live far from the merged components and keep sharing their
+      // list with the base.
+      const bool affected =
+          std::any_of(comps->begin(), comps->end(),
+                      [&](social::ComponentId c) {
+                        return old_to_new[c] != c;
+                      });
+      if (!affected) continue;
+      for (social::ComponentId& c : MutableCow(comps)) {
+        c = old_to_new[c];
+      }
+      dirty_keys.insert(k);
+    }
+  }
+  for (doc::NodeId n = old_nodes; n < new_nodes; ++n) {
+    const social::ComponentId c =
+        components_.Of(EntityId::Fragment(n));
+    for (KeywordId k : docs_.node(n).keywords) {
+      CompsWithKeywordSlot(k).push_back(c);
+      dirty_keys.insert(k);
+    }
+  }
+  for (social::TagId t = old_tags; t < tags_.size(); ++t) {
+    if (tags_[t].keyword == kInvalidKeyword) continue;
+    CompsWithKeywordSlot(tags_[t].keyword)
+        .push_back(components_.Of(EntityId::Tag(t)));
+    dirty_keys.insert(tags_[t].keyword);
+  }
+  for (KeywordId k : dirty_keys) {
+    auto& comps = CompsWithKeywordSlot(k);
+    std::sort(comps.begin(), comps.end());
+    comps.erase(std::unique(comps.begin(), comps.end()), comps.end());
+  }
+
+  finalized_ = true;
+  return Status::OK();
+}
+
 const std::vector<social::ComponentId>& S3Instance::ComponentsWithKeyword(
     KeywordId k) const {
   auto it = comps_with_keyword_.find(k);
-  return it == comps_with_keyword_.end() ? kNoComponents : it->second;
+  return it == comps_with_keyword_.end() ? kNoComponents : *it->second;
 }
 
 uint32_t S3Instance::RowOfUser(social::UserId u) const {

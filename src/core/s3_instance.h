@@ -7,9 +7,18 @@
 // the RDF graph and builds the derived structures the query engine
 // needs (inverted index, transition matrix, component partition,
 // keyword->component directory).
+//
+// Finalized instances are immutable. The live-update pipeline grows
+// them by *generations*: ApplyDelta(InstanceDelta) produces a new
+// finalized snapshot that shares every untouched structure with its
+// base (copy-on-write postings / edge chunks / adjacency rows,
+// spliced transition-matrix rows, extended union-find) instead of
+// rebuilding — see core/instance_delta.h.
 #ifndef S3_CORE_S3_INSTANCE_H_
 #define S3_CORE_S3_INSTANCE_H_
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -49,9 +58,13 @@ struct User {
   std::string uri;
 };
 
+class InstanceDelta;
+
 class S3Instance {
  public:
   S3Instance();
+
+  S3Instance& operator=(const S3Instance&) = delete;
 
   // ---- population phase ----------------------------------------------
 
@@ -84,8 +97,8 @@ class S3Instance {
 
   // Ontology access (population): intern terms and add schema /
   // assertion triples. Saturation runs in Finalize().
-  rdf::TermDictionary& terms() { return terms_; }
-  rdf::TripleStore& rdf_graph() { return rdf_; }
+  rdf::TermDictionary& terms() { return *terms_; }
+  rdf::TripleStore& rdf_graph() { return *rdf_; }
 
   // Schema helpers (weight-1 triples).
   void DeclareSubClass(const std::string& sub, const std::string& super);
@@ -113,6 +126,38 @@ class S3Instance {
   Status Finalize();
   bool finalized() const { return finalized_; }
 
+  // ---- live updates ----------------------------------------------------
+
+  // Applies a delta built against *this* snapshot (see
+  // core/instance_delta.h) and returns a new finalized snapshot of
+  // generation generation()+1. The base is untouched and remains fully
+  // queryable; the successor shares all untouched postings, edge
+  // chunks, adjacency rows, transition-matrix rows, documents and the
+  // saturated ontology with it. Query results over the successor are
+  // identical to rebuilding an instance from scratch with the combined
+  // population (same operations, same order) — bit for bit when the
+  // base has no RDF-imported social edges; with rdf_social_edges() > 0
+  // the rebuild orders those after the delta's edges, so parallel-edge
+  // float accumulation may differ in the last ulp (see
+  // FinalizeIncremental).
+  //
+  // Fails with FailedPrecondition on an unfinalized base and
+  // InvalidArgument when the delta was built against a different
+  // snapshot or an operation in it does not validate.
+  Result<std::shared_ptr<const S3Instance>> ApplyDelta(
+      const InstanceDelta& delta) const;
+
+  // Snapshot generation: 0 for a freshly finalized instance, +1 per
+  // applied delta.
+  uint64_t generation() const { return generation_; }
+
+  // Lineage token: assigned (process-unique) by Finalize and inherited
+  // by every ApplyDelta successor. Two snapshots are comparable by
+  // generation only within one lineage — the serving layer refuses to
+  // swap across lineages (an unrelated instance's generation number
+  // says nothing about its id spaces).
+  uint64_t lineage() const { return lineage_; }
+
   // Number of social edges imported from RDF triples by Finalize.
   size_t rdf_social_edges() const { return rdf_social_edges_; }
 
@@ -137,8 +182,8 @@ class S3Instance {
   const social::EntityLayout& layout() const;
   const std::vector<Tag>& tags() const { return tags_; }
   const std::vector<User>& users() const { return users_; }
-  const rdf::TripleStore& rdf_graph() const { return rdf_; }
-  const rdf::TermDictionary& terms() const { return terms_; }
+  const rdf::TripleStore& rdf_graph() const { return *rdf_; }
+  const rdf::TermDictionary& terms() const { return *terms_; }
   const rdf::SaturationStats& saturation_stats() const {
     return saturation_stats_;
   }
@@ -172,15 +217,41 @@ class S3Instance {
   uint32_t RowOfTag(social::TagId t) const;
 
  private:
+  // Structure-sharing copy used by ApplyDelta: shared_ptr members are
+  // shared, copy-on-write stores copy their cheap spines, and the
+  // derived arrays (matrix CSR, component forest) are copied so the
+  // incremental finalize can update them in place. Never exposed:
+  // copying a non-finalized instance would alias the mutable ontology.
+  S3Instance(const S3Instance&) = default;
+
   Status RequireNotFinalized(const char* op) const;
+
+  // Incremental counterpart of Finalize() for ApplyDelta: the
+  // population has been extended by a replayed delta (documents,
+  // comments, tags, social edges — never users or ontology triples);
+  // refreshes the derived structures without recomputing anything the
+  // delta did not touch. `old_*` describe the pre-delta populations;
+  // `old_comp_rep` holds one representative row per pre-delta
+  // component (for the component-id remap when old components merge).
+  Status FinalizeIncremental(uint32_t old_users, uint32_t old_nodes,
+                             uint32_t old_tags, doc::DocId first_new_doc,
+                             uint32_t first_new_edge,
+                             const std::vector<uint32_t>& old_comp_rep);
+
+  // Mutable access to a keyword's component list, cloning it first
+  // when another generation still shares it (copy-on-write).
+  std::vector<social::ComponentId>& CompsWithKeywordSlot(KeywordId k);
 
   // population state
   std::vector<User> users_;
   std::vector<Tag> tags_;
   doc::DocumentStore docs_;
   social::EdgeStore edges_;
-  rdf::TermDictionary terms_;
-  rdf::TripleStore rdf_;
+  // Shared across generations: deltas may not add users or ontology
+  // triples, so the term dictionary, the (saturated) RDF graph and the
+  // saturation stats are identical in every successor snapshot.
+  std::shared_ptr<rdf::TermDictionary> terms_;
+  std::shared_ptr<rdf::TripleStore> rdf_;
   Vocabulary vocabulary_;
   std::unordered_map<social::EntityId, std::vector<social::TagId>>
       tags_on_;
@@ -188,15 +259,20 @@ class S3Instance {
   std::vector<doc::NodeId> comment_target_;  // per DocId, kInvalidNode if none
   std::vector<ExplicitSocialEdge> explicit_social_;
 
-  // derived state (Finalize)
+  // derived state (Finalize / FinalizeIncremental)
   bool finalized_ = false;
+  uint64_t generation_ = 0;
+  uint64_t lineage_ = 0;
   size_t rdf_social_edges_ = 0;
   std::optional<social::EntityLayout> layout_;
   doc::InvertedIndex index_;
   social::TransitionMatrix matrix_;
   social::ComponentIndex components_;
   rdf::SaturationStats saturation_stats_;
-  std::unordered_map<KeywordId, std::vector<social::ComponentId>>
+  // Copy-on-write like the inverted index: a successor snapshot clones
+  // only the per-keyword component lists the delta touches.
+  std::unordered_map<KeywordId,
+                     std::shared_ptr<std::vector<social::ComponentId>>>
       comps_with_keyword_;
 };
 

@@ -27,7 +27,7 @@ Result<DocId> DocumentStore::AddDocument(Document doc,
   }
   roots_.push_back(globals[0]);
   doc_nodes_.push_back(std::move(globals));
-  documents_.push_back(std::move(doc));
+  documents_.push_back(std::make_shared<const Document>(std::move(doc)));
   return d;
 }
 
@@ -41,7 +41,7 @@ Result<NodeId> DocumentStore::FindByUri(const std::string& uri) const {
 
 std::vector<NodeId> DocumentStore::VerticalNeighbors(NodeId n) const {
   const NodeRef ref = node_refs_[n];
-  const Document& d = documents_[ref.doc];
+  const Document& d = *documents_[ref.doc];
   std::vector<NodeId> out;
   for (uint32_t a : d.Ancestors(ref.local)) {
     out.push_back(doc_nodes_[ref.doc][a]);
@@ -63,7 +63,7 @@ bool DocumentStore::AreVerticalNeighbors(NodeId a, NodeId b) const {
   const NodeRef ra = node_refs_[a];
   const NodeRef rb = node_refs_[b];
   if (ra.doc != rb.doc) return false;
-  const Document& d = documents_[ra.doc];
+  const Document& d = *documents_[ra.doc];
   return d.node(ra.local).dewey.Comparable(d.node(rb.local).dewey);
 }
 
@@ -71,12 +71,12 @@ size_t DocumentStore::PosLength(NodeId ancestor, NodeId descendant) const {
   const NodeRef ra = node_refs_[ancestor];
   const NodeRef rb = node_refs_[descendant];
   assert(ra.doc == rb.doc);
-  return documents_[ra.doc].PosLength(ra.local, rb.local);
+  return documents_[ra.doc]->PosLength(ra.local, rb.local);
 }
 
 std::vector<NodeId> DocumentStore::Ancestors(NodeId n) const {
   const NodeRef ref = node_refs_[n];
-  const Document& d = documents_[ref.doc];
+  const Document& d = *documents_[ref.doc];
   std::vector<NodeId> out;
   for (uint32_t a : d.Ancestors(ref.local)) {
     out.push_back(doc_nodes_[ref.doc][a]);

@@ -6,6 +6,7 @@
 #ifndef S3_DOC_DOCUMENT_STORE_H_
 #define S3_DOC_DOCUMENT_STORE_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -26,13 +27,16 @@ class DocumentStore {
   size_t DocumentCount() const { return documents_.size(); }
   size_t NodeCount() const { return node_refs_.size(); }
 
-  const Document& document(DocId d) const { return documents_[d]; }
+  // Documents are immutable once registered and held behind
+  // shared_ptr, so a copied store (live-update snapshot) shares every
+  // document payload with its parent.
+  const Document& document(DocId d) const { return *documents_[d]; }
 
   // Mapping between global node ids and (document, local index).
   DocId DocOf(NodeId n) const { return node_refs_[n].doc; }
   uint32_t LocalOf(NodeId n) const { return node_refs_[n].local; }
   const Node& node(NodeId n) const {
-    return documents_[node_refs_[n].doc].node(node_refs_[n].local);
+    return documents_[node_refs_[n].doc]->node(node_refs_[n].local);
   }
 
   // Global id of document d's root node.
@@ -72,7 +76,7 @@ class DocumentStore {
     uint32_t local;
   };
 
-  std::vector<Document> documents_;
+  std::vector<std::shared_ptr<const Document>> documents_;
   std::vector<NodeId> roots_;                   // per document
   std::vector<std::vector<NodeId>> doc_nodes_;  // per document: local->global
   std::vector<NodeRef> node_refs_;              // global->(doc, local)

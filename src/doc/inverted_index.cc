@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/cow.h"
+
 namespace s3::doc {
 
 namespace {
@@ -10,24 +12,30 @@ const std::vector<NodeId> kEmptyPostings;
 
 void InvertedIndex::Rebuild(const DocumentStore& store) {
   postings_.clear();
-  for (NodeId n = 0; n < store.NodeCount(); ++n) {
-    AddNode(n, store.node(n).keywords);
-  }
+  AppendNodes(store, 0);
 }
 
 void InvertedIndex::AddNode(NodeId node,
                             const std::vector<KeywordId>& keywords) {
   for (KeywordId k : keywords) {
-    auto& list = postings_[k];
+    // Clone-on-shared: another generation may still reference the list.
+    auto& list = MutableCow(postings_[k]);
     // Nodes are added in increasing id order; avoid duplicates from
     // repeated keywords within one node.
     if (list.empty() || list.back() != node) list.push_back(node);
   }
 }
 
+void InvertedIndex::AppendNodes(const DocumentStore& store,
+                                NodeId first_new_node) {
+  for (NodeId n = first_new_node; n < store.NodeCount(); ++n) {
+    AddNode(n, store.node(n).keywords);
+  }
+}
+
 const std::vector<NodeId>& InvertedIndex::Postings(KeywordId k) const {
   auto it = postings_.find(k);
-  return it == postings_.end() ? kEmptyPostings : it->second;
+  return it == postings_.end() ? kEmptyPostings : *it->second;
 }
 
 std::vector<KeywordId> InvertedIndex::Keywords() const {
@@ -35,6 +43,14 @@ std::vector<KeywordId> InvertedIndex::Keywords() const {
   out.reserve(postings_.size());
   for (const auto& [k, _] : postings_) out.push_back(k);
   return out;
+}
+
+bool InvertedIndex::SharesPostings(const InvertedIndex& other,
+                                   KeywordId k) const {
+  auto it = postings_.find(k);
+  auto jt = other.postings_.find(k);
+  if (it == postings_.end() || jt == other.postings_.end()) return false;
+  return it->second == jt->second;
 }
 
 }  // namespace s3::doc

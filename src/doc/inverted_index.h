@@ -2,9 +2,16 @@
 // contain it. This is the access path behind the `S3:contains`
 // connections of con(d, k) (paper §3.2) and behind workload
 // construction (keyword document frequencies).
+//
+// Postings lists are held behind shared_ptr so that a copied index
+// (the live-update pipeline's snapshot-to-snapshot copy) shares every
+// untouched list with its parent; AddNode copies a list only when it
+// is about to mutate one that another generation still references
+// (copy-on-write at keyword granularity).
 #ifndef S3_DOC_INVERTED_INDEX_H_
 #define S3_DOC_INVERTED_INDEX_H_
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -19,8 +26,14 @@ class InvertedIndex {
   // after ingestion; Rebuild discards previous state.
   void Rebuild(const DocumentStore& store);
 
-  // Adds a single node's keywords (for incremental ingestion).
+  // Adds a single node's keywords (incremental ingestion). Nodes must
+  // be added in increasing id order. Copy-on-write: a postings list
+  // shared with another index generation is cloned before the append.
   void AddNode(NodeId node, const std::vector<KeywordId>& keywords);
+
+  // Appends every node of `store` with id >= first_new_node, in id
+  // order — the delta-application path.
+  void AppendNodes(const DocumentStore& store, NodeId first_new_node);
 
   // Fragments whose content directly contains `k` (no extension, no
   // ancestor propagation), sorted, deduplicated.
@@ -35,8 +48,13 @@ class InvertedIndex {
   // All indexed keyword ids (unsorted).
   std::vector<KeywordId> Keywords() const;
 
+  // True if this index shares keyword k's postings list with `other`
+  // (structural-sharing introspection for tests).
+  bool SharesPostings(const InvertedIndex& other, KeywordId k) const;
+
  private:
-  std::unordered_map<KeywordId, std::vector<NodeId>> postings_;
+  std::unordered_map<KeywordId, std::shared_ptr<std::vector<NodeId>>>
+      postings_;
 };
 
 }  // namespace s3::doc

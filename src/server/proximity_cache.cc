@@ -5,12 +5,14 @@
 namespace s3::server {
 
 PlanCacheKey MakePlanKey(std::vector<KeywordId> keywords,
-                         bool use_semantics, double eta) {
+                         bool use_semantics, double eta,
+                         uint64_t generation) {
   PlanCacheKey key;
   std::sort(keywords.begin(), keywords.end());
   key.keywords = std::move(keywords);
   key.use_semantics = use_semantics;
   key.eta = eta;
+  key.generation = generation;
   return key;
 }
 
@@ -44,9 +46,42 @@ void ProximityCache::Insert(
   Shard& shard = ShardFor(key);
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
+    // Purge floor, checked under the shard lock: a worker that missed
+    // on generation g before a swap purged g may finish its build
+    // afterwards — admitting the entry would strand an unreachable
+    // plan in the LRU (and let it evict live ones) until the next
+    // swap. The purge raises the floor *before* sweeping the shards,
+    // so a lock-ordered insert either observes the raised floor here
+    // or lands before the sweep and gets swept.
+    if (key.generation <
+        min_generation_.load(std::memory_order_acquire)) {
+      return;
+    }
     shard.lru.Put(key, std::move(plan));
   }
   insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t ProximityCache::PurgeGenerationsBelow(uint64_t current) {
+  // Raise the insert floor first so a concurrent plan build racing
+  // this purge cannot re-admit a stale entry after its shard was
+  // swept.
+  uint64_t floor = min_generation_.load(std::memory_order_relaxed);
+  while (floor < current &&
+         !min_generation_.compare_exchange_weak(
+             floor, current, std::memory_order_acq_rel)) {
+  }
+  size_t purged = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    purged += shard->lru.EraseIf(
+        [current](const PlanCacheKey& key,
+                  const std::shared_ptr<const core::CandidatePlan>&) {
+          return key.generation < current;
+        });
+  }
+  purged_.fetch_add(purged, std::memory_order_relaxed);
+  return purged;
 }
 
 ProximityCacheStats ProximityCache::Stats() const {
@@ -54,6 +89,7 @@ ProximityCacheStats ProximityCache::Stats() const {
   out.hits = hits_.load(std::memory_order_relaxed);
   out.misses = misses_.load(std::memory_order_relaxed);
   out.insertions = insertions_.load(std::memory_order_relaxed);
+  out.purged = purged_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     out.evictions += shard->lru.evictions();

@@ -14,11 +14,14 @@
 // score is a product over query keywords, so a plan built from the
 // sorted list answers any permutation of the same multiset.
 //
-// Invalidation: none, by construction. The cache holds
-// shared_ptr<const CandidatePlan> over an immutable finalized
-// S3Instance snapshot; a new snapshot means a new QueryService with a
-// fresh cache. Eviction is pure LRU per shard. In-flight queries keep
-// their plan alive through the shared_ptr even after eviction.
+// Invalidation: by generation tag, never by global flush. Every key
+// carries the generation of the snapshot its plan was built over; a
+// SwapSnapshot bumps the generation the service looks up with, so
+// stale plans simply stop matching (and in-flight queries on the old
+// snapshot keep hitting theirs). PurgeGenerationsBelow reclaims the
+// stale entries' memory eagerly; LRU eviction would age them out
+// anyway. In-flight queries keep their plan alive through the
+// shared_ptr even after eviction or purge.
 //
 // Sharding: the key hash picks a shard; each shard is an independently
 // locked LruCache, so concurrent workers only contend when their keys
@@ -39,17 +42,21 @@
 namespace s3::server {
 
 // Cache key: canonicalized (sorted) keyword multiset plus the plan-
-// shaping score parameters.
+// shaping score parameters and the snapshot generation the plan was
+// built over (a plan's source rows and component ids are meaningless
+// against any other generation).
 struct PlanCacheKey {
   std::vector<KeywordId> keywords;  // sorted ascending
   bool use_semantics = true;
   double eta = 0.5;
+  uint64_t generation = 0;
 
   bool operator==(const PlanCacheKey& o) const {
     // eta compares by bit pattern, matching the hash below (floating
     // `==` would disagree with the hash on +0.0 vs -0.0 and on NaN,
     // violating the Hash/Eq contract the LRU map relies on).
     return use_semantics == o.use_semantics &&
+           generation == o.generation &&
            std::bit_cast<uint64_t>(eta) == std::bit_cast<uint64_t>(o.eta) &&
            keywords == o.keywords;
   }
@@ -66,13 +73,18 @@ struct PlanCacheKeyHash {
     for (KeywordId k : key.keywords) mix(k);
     mix(key.use_semantics ? 1 : 0);
     mix(std::bit_cast<uint64_t>(key.eta));
+    mix(key.generation);
     return static_cast<size_t>(h);
   }
 };
 
-// Canonicalizes a query keyword list into a cache key.
+// Canonicalizes a query keyword list into a cache key. The generation
+// is deliberately not defaulted: it is load-bearing for invalidation,
+// and a caller that silently pinned generation 0 would be serving
+// stale plans after the first swap.
 PlanCacheKey MakePlanKey(std::vector<KeywordId> keywords,
-                         bool use_semantics, double eta);
+                         bool use_semantics, double eta,
+                         uint64_t generation);
 
 // Monotonic counters, readable while the cache is in use.
 struct ProximityCacheStats {
@@ -80,6 +92,7 @@ struct ProximityCacheStats {
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
+  uint64_t purged = 0;  // stale-generation entries reclaimed
   size_t entries = 0;
 
   double HitRate() const {
@@ -105,6 +118,15 @@ class ProximityCache {
   void Insert(const PlanCacheKey& key,
               std::shared_ptr<const core::CandidatePlan> plan);
 
+  // Drops every entry whose generation is below `current` (snapshot
+  // generations only grow, so those can never be looked up again), and
+  // raises the insert floor so a racing plan build from an already-
+  // purged generation cannot re-admit a stale entry afterwards.
+  // Returns the number reclaimed. Current-generation entries — and the
+  // plans in-flight queries still hold — are untouched: this is a
+  // targeted purge, not a flush.
+  size_t PurgeGenerationsBelow(uint64_t current);
+
   ProximityCacheStats Stats() const;
 
   size_t shard_count() const { return shards_.size(); }
@@ -127,6 +149,10 @@ class ProximityCache {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> purged_{0};
+  // Insert floor set by PurgeGenerationsBelow; inserts below it are
+  // dropped (their generation can never be looked up again).
+  std::atomic<uint64_t> min_generation_{0};
 };
 
 }  // namespace s3::server

@@ -1,5 +1,6 @@
 #include "server/query_service.h"
 
+#include <optional>
 #include <utility>
 
 namespace s3::server {
@@ -22,11 +23,12 @@ QueryService::QueryService(std::shared_ptr<const core::S3Instance> snapshot,
 
 QueryService::~QueryService() { Shutdown(); }
 
-Status QueryService::ValidateQuery(const core::Query& query) const {
-  if (!snapshot_->finalized()) {
+Status QueryService::ValidateQuery(const core::S3Instance& snapshot,
+                                   const core::Query& query) const {
+  if (!snapshot.finalized()) {
     return Status::FailedPrecondition("snapshot not finalized");
   }
-  if (query.seeker >= snapshot_->UserCount()) {
+  if (query.seeker >= snapshot.UserCount()) {
     return Status::InvalidArgument("unknown seeker");
   }
   if (query.keywords.empty()) {
@@ -35,6 +37,57 @@ Status QueryService::ValidateQuery(const core::Query& query) const {
   if (query.keywords.size() > 64) {
     return Status::InvalidArgument("queries are limited to 64 keywords");
   }
+  // Keyword *values* are untrusted caller input too: an out-of-range id
+  // must not reach plan construction or index lookups. (Ids stay valid
+  // across snapshot swaps because vocabularies only grow.)
+  const size_t n_keywords = snapshot.vocabulary().size();
+  for (KeywordId k : query.keywords) {
+    if (k >= n_keywords) {
+      return Status::InvalidArgument("unknown keyword id");
+    }
+  }
+  return Status::OK();
+}
+
+Status QueryService::SwapSnapshot(
+    std::shared_ptr<const core::S3Instance> next) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("service is shut down");
+  }
+  if (next == nullptr || !next->finalized()) {
+    return Status::InvalidArgument("snapshot must be finalized");
+  }
+  const uint64_t generation = next->generation();
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    // Generations must grow monotonically: the cache keys plans by
+    // generation number, so publishing an unrelated snapshot that
+    // reuses a number (e.g. a freshly built generation-0 instance)
+    // would let stale plans — with row ids of a different instance —
+    // hit against it. It also serializes concurrent swappers: the
+    // loser of a race surfaces here instead of silently discarding
+    // the winner's delta. Serving an unrelated instance means a new
+    // QueryService.
+    if (generation <= snapshot_->generation()) {
+      return Status::InvalidArgument(
+          "snapshot generation must exceed the current generation " +
+          std::to_string(snapshot_->generation()) +
+          " (got " + std::to_string(generation) + ")");
+    }
+    // Generation numbers are only comparable within one ApplyDelta
+    // lineage: an unrelated instance may have smaller id spaces than
+    // the one queries were validated against.
+    if (next->lineage() != snapshot_->lineage()) {
+      return Status::InvalidArgument(
+          "snapshot belongs to a different lineage; serve an unrelated "
+          "instance with a new QueryService");
+    }
+    snapshot_ = std::move(next);
+  }
+  // Stale-generation plans can never be looked up again (keys carry
+  // the generation); reclaim their memory without touching
+  // current-generation entries.
+  if (cache_ != nullptr) cache_->PurgeGenerationsBelow(generation);
   return Status::OK();
 }
 
@@ -42,14 +95,22 @@ Result<QueryFuture> QueryService::Admit(core::Query query, bool blocking) {
   if (shutdown_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("service is shut down");
   }
-  S3_RETURN_IF_ERROR(ValidateQuery(query));
+  {
+    auto snap = snapshot();
+    S3_RETURN_IF_ERROR(ValidateQuery(*snap, query));
+  }
 
   Task task;
   task.query = std::move(query);
   QueryFuture future = task.promise.get_future();
+  // Count the admission *before* publishing the task: a fast worker
+  // may complete it the instant it is queued, and completed > submitted
+  // must never be observable. Undone on refusal.
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   const bool admitted =
       blocking ? queue_.Push(std::move(task)) : queue_.TryPush(std::move(task));
   if (!admitted) {
+    submitted_.fetch_sub(1, std::memory_order_relaxed);
     if (queue_.closed()) {
       // Shutdown refusal, not load shedding — don't count it as an
       // admission-control rejection.
@@ -58,7 +119,6 @@ Result<QueryFuture> QueryService::Admit(core::Query query, bool blocking) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return Status::Unavailable("admission queue full");
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
   return future;
 }
 
@@ -71,18 +131,20 @@ Result<QueryFuture> QueryService::SubmitBlocking(core::Query query) {
 }
 
 Result<std::shared_ptr<const core::CandidatePlan>> QueryService::ResolvePlan(
-    const core::Query& query, ThreadPool* pool, bool* cache_hit) {
+    const core::S3Instance& snapshot, const core::Query& query,
+    ThreadPool* pool, bool* cache_hit) {
   *cache_hit = false;
   const bool use_semantics = options_.search.use_semantics;
   const double eta = options_.search.score.eta;
   if (cache_ == nullptr) {
-    auto built = core::BuildCandidatePlan(*snapshot_, query.keywords,
+    auto built = core::BuildCandidatePlan(snapshot, query.keywords,
                                           use_semantics, eta, pool);
     if (!built.ok()) return built.status();
     return std::make_shared<const core::CandidatePlan>(std::move(*built));
   }
 
-  PlanCacheKey key = MakePlanKey(query.keywords, use_semantics, eta);
+  PlanCacheKey key = MakePlanKey(query.keywords, use_semantics, eta,
+                                 snapshot.generation());
   if (auto plan = cache_->Lookup(key)) {
     *cache_hit = true;
     return plan;
@@ -91,7 +153,7 @@ Result<std::shared_ptr<const core::CandidatePlan>> QueryService::ResolvePlan(
   // serves every permutation of this multiset. Concurrent misses on
   // the same key may build twice; last insert wins and both plans are
   // equivalent, so no cross-worker build lock is needed.
-  auto built = core::BuildCandidatePlan(*snapshot_, key.keywords,
+  auto built = core::BuildCandidatePlan(snapshot, key.keywords,
                                         use_semantics, eta, pool);
   if (!built.ok()) return built.status();
   auto plan =
@@ -102,15 +164,29 @@ Result<std::shared_ptr<const core::CandidatePlan>> QueryService::ResolvePlan(
 
 void QueryService::WorkerLoop() {
   // The pooled searcher: one per worker, reused for every query the
-  // worker answers (scratch state persists across queries).
-  core::S3kSearcher searcher(*snapshot_, options_.search);
+  // worker answers (scratch state persists across queries) and rebuilt
+  // only when a SwapSnapshot publishes a new generation. The worker's
+  // shared_ptr keeps its generation alive until it rebinds.
+  std::shared_ptr<const core::S3Instance> bound;
+  std::optional<core::S3kSearcher> searcher;
 
   while (auto popped = queue_.Pop()) {
     Task& task = *popped;
     QueryResponse response;
     response.queue_seconds = task.timer.ElapsedSeconds();
 
-    auto plan = ResolvePlan(task.query, searcher.intra_pool(),
+    // Bind one snapshot for the whole query: snapshot, plan and
+    // searcher all come from this generation, even if a swap lands
+    // mid-query.
+    auto current = snapshot();
+    if (current != bound) {
+      searcher.reset();
+      bound = std::move(current);
+      searcher.emplace(*bound, options_.search);
+    }
+    response.generation = bound->generation();
+
+    auto plan = ResolvePlan(*bound, task.query, searcher->intra_pool(),
                             &response.cache_hit);
     if (!plan.ok()) {
       failed_.fetch_add(1, std::memory_order_relaxed);
@@ -118,8 +194,8 @@ void QueryService::WorkerLoop() {
       continue;
     }
 
-    auto result = searcher.SearchWithPlan(task.query, **plan,
-                                          &response.stats);
+    auto result = searcher->SearchWithPlan(task.query, **plan,
+                                           &response.stats);
     if (!result.ok()) {
       failed_.fetch_add(1, std::memory_order_relaxed);
       task.promise.set_value(result.status());

@@ -1,14 +1,15 @@
 // QueryService: the concurrent inter-query serving layer.
 //
 // One service owns
-//   * an immutable shared S3Instance snapshot (shared_ptr<const>; the
-//     service and every in-flight query keep it alive),
+//   * the *current* immutable S3Instance snapshot (shared_ptr<const>;
+//     the service and every in-flight query keep their generation
+//     alive),
 //   * a pool of N worker threads, each with its own long-lived
 //     S3kSearcher (per-worker scratch: exploration frontiers, ordering
 //     buffer, intra-query thread pool — nothing per query beyond the
 //     bound engine),
 //   * a bounded MPMC admission queue (common/bounded_queue.h), and
-//   * a sharded LRU proximity/candidate cache
+//   * a sharded, generation-tagged LRU proximity/candidate cache
 //     (server/proximity_cache.h) shared by all workers.
 //
 // Submit(query) admits the query (or refuses with Unavailable when the
@@ -20,10 +21,23 @@
 // promise. Shutdown() closes the queue, drains admitted work, and
 // joins the workers; queries admitted before shutdown always complete.
 //
-// Thread-safety: Submit/SubmitBlocking/Stats may be called from any
-// number of client threads. The snapshot must never be mutated after
-// the service is constructed (S3Instance has no post-Finalize mutation
-// API, so const-ness enforces this).
+// Live updates: SwapSnapshot(next) atomically publishes a new
+// generation (normally base->ApplyDelta(delta)) mid-traffic. Each
+// worker binds one snapshot per query at dequeue time: in-flight
+// queries finish on the generation they started with (kept alive by
+// shared_ptr), later dequeues see the new one, and every response is
+// internally consistent with exactly one generation
+// (QueryResponse::generation). Cached plans are keyed by generation,
+// so a swap invalidates stale plans without flushing anything — plus
+// an eager purge of the now-unreachable old-generation entries.
+//
+// Thread-safety: Submit/SubmitBlocking/Stats/SwapSnapshot may be
+// called from any number of client threads. Snapshots are never
+// mutated after Finalize (ApplyDelta builds successors copy-on-write
+// on the side), so workers read them with no synchronization; the only
+// swap-related cost on the query path is a mutex-guarded shared_ptr
+// copy at admission (validation) and one more per dequeued query
+// (binding) — microseconds against millisecond queries.
 #ifndef S3_SERVER_QUERY_SERVICE_H_
 #define S3_SERVER_QUERY_SERVICE_H_
 
@@ -31,6 +45,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -62,6 +77,9 @@ struct QueryServiceOptions {
 struct QueryResponse {
   std::vector<core::ResultEntry> entries;
   core::SearchStats stats;
+  // Generation of the snapshot that answered the query. Snapshot,
+  // plan and searcher are all bound to this one generation.
+  uint64_t generation = 0;
   bool cache_hit = false;        // plan served from the proximity cache
   double queue_seconds = 0.0;    // admission -> dequeue
   double total_seconds = 0.0;    // admission -> completion
@@ -97,6 +115,15 @@ class QueryService {
   // Fails with FailedPrecondition once the service is shut down.
   Result<QueryFuture> SubmitBlocking(core::Query query);
 
+  // Atomically publishes a new snapshot generation. `next` must be
+  // finalized; it normally comes from ApplyDelta on the current
+  // snapshot, and its generation should exceed the current one (the
+  // cache purge assumes generations only grow). In-flight queries
+  // complete on the snapshot they were dequeued with; queries dequeued
+  // after the swap run on `next`. Fails with InvalidArgument on a null
+  // or unfinalized snapshot and FailedPrecondition after Shutdown.
+  Status SwapSnapshot(std::shared_ptr<const core::S3Instance> next);
+
   // Closes admission, drains already-admitted queries, joins workers.
   // Idempotent; also run by the destructor.
   void Shutdown();
@@ -110,7 +137,12 @@ class QueryService {
   // the workers; snapshot with the caller's wall-clock window for QPS.
   const eval::LatencyRecorder& latency() const { return latency_; }
 
-  const core::S3Instance& snapshot() const { return *snapshot_; }
+  // The current snapshot (the generation new queries will run on).
+  std::shared_ptr<const core::S3Instance> snapshot() const {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    return snapshot_;
+  }
+
   unsigned worker_count() const {
     return static_cast<unsigned>(workers_.size());
   }
@@ -122,16 +154,23 @@ class QueryService {
     WallTimer timer;  // started at admission
   };
 
-  Status ValidateQuery(const core::Query& query) const;
+  Status ValidateQuery(const core::S3Instance& snapshot,
+                       const core::Query& query) const;
   Result<QueryFuture> Admit(core::Query query, bool blocking);
   void WorkerLoop();
 
-  // Resolves the candidate plan for a query through the cache (or
-  // builds it uncached). Sets `cache_hit`. `pool` (may be null) is the
-  // calling worker's intra-query pool, reused for cache-miss builds.
+  // Resolves the candidate plan for a query against `snapshot` through
+  // the cache (or builds it uncached); the cache key carries the
+  // snapshot's generation. Sets `cache_hit`. `pool` (may be null) is
+  // the calling worker's intra-query pool, reused for cache-miss
+  // builds.
   Result<std::shared_ptr<const core::CandidatePlan>> ResolvePlan(
-      const core::Query& query, ThreadPool* pool, bool* cache_hit);
+      const core::S3Instance& snapshot, const core::Query& query,
+      ThreadPool* pool, bool* cache_hit);
 
+  // Guards snapshot_ replacement; workers copy the pointer out once
+  // per dequeued query.
+  mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const core::S3Instance> snapshot_;
   QueryServiceOptions options_;
   BoundedQueue<Task> queue_;

@@ -1,17 +1,18 @@
 #include "social/components.h"
 
+#include <cassert>
 #include <numeric>
 
 namespace s3::social {
 
 namespace {
 
-// Plain union-find with path halving and union by size.
+// Plain union-find with path halving and union by size, operating on a
+// caller-owned parent vector (so the forest can persist in the index).
 class UnionFind {
  public:
-  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
-    std::iota(parent_.begin(), parent_.end(), 0u);
-  }
+  explicit UnionFind(std::vector<uint32_t>& parent)
+      : parent_(parent), size_(parent.size(), 1) {}
 
   uint32_t Find(uint32_t x) {
     while (parent_[x] != x) {
@@ -31,18 +32,41 @@ class UnionFind {
   }
 
  private:
-  std::vector<uint32_t> parent_;
+  std::vector<uint32_t>& parent_;
   std::vector<uint32_t> size_;
 };
 
 }  // namespace
+
+void ComponentIndex::AssignComponents(const EntityLayout& layout) {
+  const uint32_t total = layout.total();
+  UnionFind uf(uf_parent_);
+  comp_of_row_.assign(total, kInvalidComponent);
+  members_.clear();
+  std::vector<ComponentId> root_to_comp(total, kInvalidComponent);
+  for (uint32_t row = 0; row < total; ++row) {
+    EntityKind kind = layout.Entity(row).kind();
+    if (kind == EntityKind::kUser) continue;
+    uint32_t root = uf.Find(row);
+    ComponentId c = root_to_comp[root];
+    if (c == kInvalidComponent) {
+      c = static_cast<ComponentId>(members_.size());
+      root_to_comp[root] = c;
+      members_.emplace_back();
+    }
+    comp_of_row_[row] = c;
+    members_[c].push_back(row);
+  }
+}
 
 void ComponentIndex::Build(const EntityLayout& layout,
                            const EdgeStore& edges,
                            const doc::DocumentStore& docs) {
   layout_ = &layout;
   const uint32_t total = layout.total();
-  UnionFind uf(total);
+  uf_parent_.resize(total);
+  std::iota(uf_parent_.begin(), uf_parent_.end(), 0u);
+  UnionFind uf(uf_parent_);
 
   // S3:partOf: all nodes of one document tree are one cluster.
   for (doc::DocId d = 0; d < docs.DocumentCount(); ++d) {
@@ -62,22 +86,56 @@ void ComponentIndex::Build(const EntityLayout& layout,
     }
   }
 
-  comp_of_row_.assign(total, kInvalidComponent);
-  members_.clear();
-  std::vector<ComponentId> root_to_comp(total, kInvalidComponent);
-  for (uint32_t row = 0; row < total; ++row) {
-    EntityKind kind = layout.Entity(row).kind();
-    if (kind == EntityKind::kUser) continue;
-    uint32_t root = uf.Find(row);
-    ComponentId c = root_to_comp[root];
-    if (c == kInvalidComponent) {
-      c = static_cast<ComponentId>(members_.size());
-      root_to_comp[root] = c;
-      members_.emplace_back();
-    }
-    comp_of_row_[row] = c;
-    members_[c].push_back(row);
+  AssignComponents(layout);
+}
+
+void ComponentIndex::BuildIncremental(const EntityLayout& new_layout,
+                                      const EdgeStore& edges,
+                                      const doc::DocumentStore& docs,
+                                      doc::DocId first_new_doc,
+                                      uint32_t first_new_edge,
+                                      uint32_t old_tag_base,
+                                      uint32_t n_new_fragments) {
+  const uint32_t total = new_layout.total();
+  const uint32_t old_total = static_cast<uint32_t>(uf_parent_.size());
+  assert(total >= old_total);
+
+  // Remap the persisted forest into the post-delta row space (tag rows
+  // shift up by n_new_fragments); new rows start as singletons.
+  auto remap = [&](uint32_t row) {
+    return row < old_tag_base ? row : row + n_new_fragments;
+  };
+  std::vector<uint32_t> parent(total);
+  std::iota(parent.begin(), parent.end(), 0u);
+  for (uint32_t row = 0; row < old_total; ++row) {
+    parent[remap(row)] = remap(uf_parent_[row]);
   }
+  uf_parent_ = std::move(parent);
+  UnionFind uf(uf_parent_);
+
+  // partOf clusters of the delta's documents.
+  for (doc::DocId d = first_new_doc; d < docs.DocumentCount(); ++d) {
+    const doc::Document& document = docs.document(d);
+    uint32_t root_row =
+        new_layout.Row(EntityId::Fragment(docs.RootNode(d)));
+    for (uint32_t local = 1; local < document.NodeCount(); ++local) {
+      uf.Union(root_row, new_layout.Row(EntityId::Fragment(
+                             docs.GlobalId(d, local))));
+    }
+  }
+
+  // Linking edges appended by the delta — endpoints may be pre-delta
+  // entities, which is how a delta merges existing components.
+  for (uint32_t idx = first_new_edge; idx < edges.size(); ++idx) {
+    const NetEdge& e = edges.edge(idx);
+    if (e.label == EdgeLabel::kCommentsOn ||
+        e.label == EdgeLabel::kHasSubject) {
+      uf.Union(new_layout.Row(e.source), new_layout.Row(e.target));
+    }
+  }
+
+  layout_ = &new_layout;
+  AssignComponents(new_layout);
 }
 
 ComponentId ComponentIndex::Of(EntityId e) const {

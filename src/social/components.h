@@ -4,6 +4,15 @@
 // Connections (con tuples, §3.2) propagate only along these edges, so a
 // fragment can match a query keyword iff its component matches it. The
 // component partition is the pruning structure behind GetDocuments.
+//
+// The index keeps its union-find forest after Build so the live-update
+// pipeline can extend the partition incrementally: BuildIncremental
+// remaps the forest into the post-delta row space, unions only the
+// delta's linking edges and the new documents' partOf clusters, and
+// re-assigns component ids with the same row scan a from-scratch Build
+// would run — the resulting partition (and id assignment) is identical
+// to rebuilding, at O(rows + delta edges) instead of O(rows + all
+// edges).
 #ifndef S3_SOCIAL_COMPONENTS_H_
 #define S3_SOCIAL_COMPONENTS_H_
 
@@ -26,6 +35,19 @@ class ComponentIndex {
   void Build(const EntityLayout& layout, const EdgeStore& edges,
              const doc::DocumentStore& docs);
 
+  // Live-update path: `this` must hold the pre-delta partition (the
+  // copied base index). Extends it to the post-delta populations:
+  // documents with id >= first_new_doc contribute partOf unions, edge
+  // log entries >= first_new_edge contribute commentsOn/hasSubject
+  // unions (endpoints may be pre-delta entities — old components can
+  // merge). `old_tag_base`/`n_new_fragments` describe the tag-row
+  // shift, as in TransitionMatrix::IncrementalUpdate.
+  void BuildIncremental(const EntityLayout& new_layout,
+                        const EdgeStore& edges,
+                        const doc::DocumentStore& docs,
+                        doc::DocId first_new_doc, uint32_t first_new_edge,
+                        uint32_t old_tag_base, uint32_t n_new_fragments);
+
   ComponentId OfRow(uint32_t row) const { return comp_of_row_[row]; }
   ComponentId Of(EntityId e) const;
 
@@ -37,9 +59,17 @@ class ComponentIndex {
   size_t ComponentCount() const { return members_.size(); }
 
  private:
+  // Re-derives comp_of_row_ / members_ from the union-find forest by
+  // scanning rows in order (the id-assignment convention shared by the
+  // full and incremental builds).
+  void AssignComponents(const EntityLayout& layout);
+
   const EntityLayout* layout_ = nullptr;
   std::vector<ComponentId> comp_of_row_;
   std::vector<std::vector<uint32_t>> members_;
+  // Union-find forest over entity rows, kept after Build for
+  // incremental extension.
+  std::vector<uint32_t> uf_parent_;
 };
 
 }  // namespace s3::social

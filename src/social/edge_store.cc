@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/cow.h"
+
 namespace s3::social {
 
 namespace {
@@ -59,10 +61,29 @@ EdgeLabel InverseLabel(EdgeLabel label) {
 void EdgeStore::Add(EntityId source, EntityId target, EdgeLabel label,
                     double weight) {
   assert(weight > 0.0 && weight <= 1.0);
-  uint32_t idx = static_cast<uint32_t>(edges_.size());
-  edges_.push_back(NetEdge{source, target, label, weight});
-  out_[source].push_back(idx);
-  out_weight_[source] += weight;
+  // Tail chunk: create a fresh one when full or absent; clone a
+  // partially filled one another generation still shares. Chunks are
+  // reserved at kChunkSize so appends never reallocate — references
+  // into the log stay valid for the chunk's lifetime.
+  if (chunks_.empty() || chunks_.back()->size() == kChunkSize) {
+    chunks_.push_back(std::make_shared<Chunk>());
+    chunks_.back()->reserve(kChunkSize);
+  } else if (chunks_.back().use_count() > 1) {
+    auto clone = std::make_shared<Chunk>();
+    clone->reserve(kChunkSize);
+    clone->insert(clone->end(), chunks_.back()->begin(),
+                  chunks_.back()->end());
+    chunks_.back() = std::move(clone);
+  }
+  uint32_t idx = static_cast<uint32_t>(n_edges_);
+  chunks_.back()->push_back(NetEdge{source, target, label, weight});
+  ++n_edges_;
+
+  // Copy-on-write: only the rows a new generation's edges touch are
+  // ever cloned.
+  AdjRow& row = MutableCow(out_[source]);
+  row.edges.push_back(idx);
+  row.weight_sum += weight;
 }
 
 void EdgeStore::AddWithInverse(EntityId source, EntityId target,
@@ -73,20 +94,28 @@ void EdgeStore::AddWithInverse(EntityId source, EntityId target,
 
 const std::vector<uint32_t>& EdgeStore::OutEdges(EntityId e) const {
   auto it = out_.find(e);
-  return it == out_.end() ? kNoEdges : it->second;
+  return it == out_.end() ? kNoEdges : it->second->edges;
 }
 
 double EdgeStore::OutWeight(EntityId e) const {
-  auto it = out_weight_.find(e);
-  return it == out_weight_.end() ? 0.0 : it->second;
+  auto it = out_.find(e);
+  return it == out_.end() ? 0.0 : it->second->weight_sum;
 }
 
 size_t EdgeStore::CountLabel(EdgeLabel label) const {
   size_t n = 0;
-  for (const NetEdge& e : edges_) {
+  for (const NetEdge& e : edges()) {
     if (e.label == label) ++n;
   }
   return n;
+}
+
+bool EdgeStore::SharesAdjacencyRow(const EdgeStore& other,
+                                   EntityId e) const {
+  auto it = out_.find(e);
+  auto jt = other.out_.find(e);
+  if (it == out_.end() || jt == other.out_.end()) return false;
+  return it->second == jt->second;
 }
 
 }  // namespace s3::social

@@ -6,10 +6,19 @@
 // Inverse properties (S3:postedBy‾ etc.) are stored as first-class
 // edges, mirroring the paper's syntactic-sugar definition
 // s p̄ o ∈ I iff o p s ∈ I.
+//
+// Storage is built for the live-update pipeline's copy-on-write
+// snapshots: the append-only edge log lives in fixed-size immutable
+// chunks behind shared_ptr (a copied store shares every full chunk and
+// clones only the tail chunk on its next append), and the per-entity
+// adjacency rows are individually shared_ptr'd (a copied store clones
+// only the rows its new edges actually touch).
 #ifndef S3_SOCIAL_EDGE_STORE_H_
 #define S3_SOCIAL_EDGE_STORE_H_
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "social/entity.h"
@@ -44,9 +53,14 @@ struct NetEdge {
 };
 
 // Append-only store of network edges with per-entity outgoing
-// adjacency.
+// adjacency. Copyable in O(chunks + adjacency rows); the copy shares
+// all edge payloads with the original (see file comment).
 class EdgeStore {
  public:
+  // Edges per immutable log chunk. All chunks except the last hold
+  // exactly this many edges, so edge(i) is two indexations.
+  static constexpr uint32_t kChunkSize = 4096;
+
   // Adds a directed edge. Weight must be in (0, 1].
   void Add(EntityId source, EntityId target, EdgeLabel label,
            double weight = 1.0);
@@ -55,22 +69,74 @@ class EdgeStore {
   void AddWithInverse(EntityId source, EntityId target, EdgeLabel label,
                       double weight = 1.0);
 
-  // Outgoing edges of `e` (indices into edges()).
+  // Outgoing edges of `e` (indices into the edge log).
   const std::vector<uint32_t>& OutEdges(EntityId e) const;
 
   // Sum of weights of edges leaving `e` alone (not its neighborhood).
   double OutWeight(EntityId e) const;
 
-  const std::vector<NetEdge>& edges() const { return edges_; }
-  size_t size() const { return edges_.size(); }
+  // The i-th edge of the log (insertion order).
+  const NetEdge& edge(uint32_t idx) const {
+    return (*chunks_[idx / kChunkSize])[idx % kChunkSize];
+  }
+
+  size_t size() const { return n_edges_; }
+
+  // Read-only view of the whole log (insertion order), supporting
+  // range-for and operator[] like the vector it replaces.
+  class EdgeView {
+   public:
+    class Iterator {
+     public:
+      Iterator(const EdgeStore* store, uint32_t idx)
+          : store_(store), idx_(idx) {}
+      const NetEdge& operator*() const { return store_->edge(idx_); }
+      Iterator& operator++() {
+        ++idx_;
+        return *this;
+      }
+      bool operator!=(const Iterator& o) const { return idx_ != o.idx_; }
+      bool operator==(const Iterator& o) const { return idx_ == o.idx_; }
+
+     private:
+      const EdgeStore* store_;
+      uint32_t idx_;
+    };
+
+    explicit EdgeView(const EdgeStore* store) : store_(store) {}
+    Iterator begin() const { return Iterator(store_, 0); }
+    Iterator end() const {
+      return Iterator(store_, static_cast<uint32_t>(store_->size()));
+    }
+    const NetEdge& operator[](uint32_t idx) const {
+      return store_->edge(idx);
+    }
+    size_t size() const { return store_->size(); }
+
+   private:
+    const EdgeStore* store_;
+  };
+
+  EdgeView edges() const { return EdgeView(this); }
 
   // Number of edges with a given label.
   size_t CountLabel(EdgeLabel label) const;
 
+  // True if `e`'s adjacency row is shared with `other`
+  // (structural-sharing introspection for tests).
+  bool SharesAdjacencyRow(const EdgeStore& other, EntityId e) const;
+
  private:
-  std::vector<NetEdge> edges_;
-  std::unordered_map<EntityId, std::vector<uint32_t>> out_;
-  std::unordered_map<EntityId, double> out_weight_;
+  struct AdjRow {
+    std::vector<uint32_t> edges;
+    double weight_sum = 0.0;
+  };
+
+  using Chunk = std::vector<NetEdge>;
+
+  std::vector<std::shared_ptr<Chunk>> chunks_;
+  size_t n_edges_ = 0;
+  std::unordered_map<EntityId, std::shared_ptr<AdjRow>> out_;
 };
 
 }  // namespace s3::social

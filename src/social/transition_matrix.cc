@@ -27,50 +27,41 @@ double Frontier::Sum() const {
   return s;
 }
 
-void TransitionMatrix::Build(const EntityLayout& layout,
-                             const EdgeStore& edges,
-                             const doc::DocumentStore& docs) {
-  const uint32_t total = layout.total();
-  row_ptr_.assign(total + 1, 0);
-  denom_.assign(total, 0.0);
-  cols_.clear();
-  vals_.clear();
-
-  // Per-row accumulation buffer: column -> weight sum (unnormalized).
-  std::unordered_map<uint32_t, double> row_acc;
-  std::vector<std::pair<uint32_t, double>> sorted_row;
-
+void TransitionMatrix::AppendComputedRow(
+    uint32_t row, const EntityLayout& layout, const EdgeStore& edges,
+    const doc::DocumentStore& docs,
+    std::unordered_map<uint32_t, double>& row_acc,
+    std::vector<std::pair<uint32_t, double>>& sorted_row) {
+  row_acc.clear();
   auto accumulate_entity = [&](EntityId x) {
     for (uint32_t eidx : edges.OutEdges(x)) {
-      const NetEdge& e = edges.edges()[eidx];
+      const NetEdge& e = edges.edge(eidx);
       row_acc[layout.Row(e.target)] += e.weight;
     }
   };
-
-  for (uint32_t row = 0; row < total; ++row) {
-    row_acc.clear();
-    EntityId n = layout.Entity(row);
-    double d = edges.OutWeight(n);
-    accumulate_entity(n);
-    if (n.kind() == EntityKind::kFragment) {
-      // A path entering a fragment may exit from any vertical neighbor.
-      for (doc::NodeId v : docs.VerticalNeighbors(n.index())) {
-        EntityId ve = EntityId::Fragment(v);
-        d += edges.OutWeight(ve);
-        accumulate_entity(ve);
-      }
+  EntityId n = layout.Entity(row);
+  double d = edges.OutWeight(n);
+  accumulate_entity(n);
+  if (n.kind() == EntityKind::kFragment) {
+    // A path entering a fragment may exit from any vertical neighbor.
+    for (doc::NodeId v : docs.VerticalNeighbors(n.index())) {
+      EntityId ve = EntityId::Fragment(v);
+      d += edges.OutWeight(ve);
+      accumulate_entity(ve);
     }
-    denom_[row] = d;
-    sorted_row.assign(row_acc.begin(), row_acc.end());
-    std::sort(sorted_row.begin(), sorted_row.end());
-    for (auto& [col, w] : sorted_row) {
-      cols_.push_back(col);
-      vals_.push_back(w / d);
-    }
-    row_ptr_[row + 1] = cols_.size();
   }
+  denom_[row] = d;
+  sorted_row.assign(row_acc.begin(), row_acc.end());
+  std::sort(sorted_row.begin(), sorted_row.end());
+  for (auto& [col, w] : sorted_row) {
+    cols_.push_back(col);
+    vals_.push_back(w / d);
+  }
+  row_ptr_[row + 1] = cols_.size();
+}
 
-  // Build the transpose by counting sort.
+void TransitionMatrix::BuildTranspose() {
+  const size_t total = rows();
   t_row_ptr_.assign(total + 1, 0);
   for (uint32_t col : cols_) ++t_row_ptr_[col + 1];
   for (uint32_t r = 0; r < total; ++r) t_row_ptr_[r + 1] += t_row_ptr_[r];
@@ -84,6 +75,79 @@ void TransitionMatrix::Build(const EntityLayout& layout,
       t_vals_[pos] = vals_[i];
     }
   }
+}
+
+void TransitionMatrix::Build(const EntityLayout& layout,
+                             const EdgeStore& edges,
+                             const doc::DocumentStore& docs) {
+  const uint32_t total = layout.total();
+  row_ptr_.assign(total + 1, 0);
+  denom_.assign(total, 0.0);
+  cols_.clear();
+  vals_.clear();
+
+  // Per-row accumulation buffer: column -> weight sum (unnormalized).
+  std::unordered_map<uint32_t, double> row_acc;
+  std::vector<std::pair<uint32_t, double>> sorted_row;
+
+  for (uint32_t row = 0; row < total; ++row) {
+    AppendComputedRow(row, layout, edges, docs, row_acc, sorted_row);
+  }
+  BuildTranspose();
+}
+
+void TransitionMatrix::IncrementalUpdate(const EntityLayout& new_layout,
+                                         const EdgeStore& edges,
+                                         const doc::DocumentStore& docs,
+                                         const std::vector<char>& touched,
+                                         uint32_t old_tag_base,
+                                         uint32_t n_new_fragments) {
+  const uint32_t total = new_layout.total();
+  const uint32_t old_total = static_cast<uint32_t>(rows());
+  const uint32_t new_frag_end = old_tag_base + n_new_fragments;
+  assert(touched.size() == total);
+
+  std::vector<uint64_t> old_row_ptr = std::move(row_ptr_);
+  std::vector<uint32_t> old_cols = std::move(cols_);
+  std::vector<double> old_vals = std::move(vals_);
+  std::vector<double> old_denom = std::move(denom_);
+
+  row_ptr_.assign(total + 1, 0);
+  denom_.assign(total, 0.0);
+  cols_.clear();
+  vals_.clear();
+  cols_.reserve(old_cols.size());
+  vals_.reserve(old_vals.size());
+
+  std::unordered_map<uint32_t, double> row_acc;
+  std::vector<std::pair<uint32_t, double>> sorted_row;
+
+  for (uint32_t row = 0; row < total; ++row) {
+    // New-layout row -> pre-delta row: rows below the old tag base are
+    // unchanged, the next n_new_fragments rows are new fragments, and
+    // the rest are (old tags shifted up) followed by new tags.
+    uint32_t old_row = UINT32_MAX;
+    if (row < old_tag_base) {
+      old_row = row;
+    } else if (row >= new_frag_end && row - n_new_fragments < old_total) {
+      old_row = row - n_new_fragments;
+    }
+    if (old_row != UINT32_MAX && !touched[row]) {
+      // Splice: same normalized values, columns remapped for the tag
+      // shift (the remap is monotone, so sortedness is preserved).
+      denom_[row] = old_denom[old_row];
+      for (uint64_t i = old_row_ptr[old_row]; i < old_row_ptr[old_row + 1];
+           ++i) {
+        const uint32_t c = old_cols[i];
+        cols_.push_back(c < old_tag_base ? c : c + n_new_fragments);
+        vals_.push_back(old_vals[i]);
+      }
+      row_ptr_[row + 1] = cols_.size();
+    } else {
+      AppendComputedRow(row, new_layout, edges, docs, row_acc, sorted_row);
+    }
+  }
+  BuildTranspose();
 }
 
 void TransitionMatrix::PropagateParallel(const Frontier& in, Frontier& out,

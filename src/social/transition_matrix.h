@@ -17,6 +17,8 @@
 #define S3_SOCIAL_TRANSITION_MATRIX_H_
 
 #include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -45,6 +47,23 @@ class TransitionMatrix {
   // by the edge store.
   void Build(const EntityLayout& layout, const EdgeStore& edges,
              const doc::DocumentStore& docs);
+
+  // Live-update path: rebuilds this matrix (previously built for the
+  // pre-delta instance) for the post-delta row space without
+  // recomputing untouched rows. `touched[row]` (indexed in the *new*
+  // row space, size new_layout.total()) marks rows whose neighborhood
+  // gained an out-edge; new-entity rows are recomputed regardless.
+  // `old_tag_base` is the pre-delta row of tag 0 (users + old
+  // fragments) and `n_new_fragments` the fragment-count growth — the
+  // delta appends fragments before the tag block, so every old tag row
+  // (and every matrix column >= old_tag_base) shifts up by
+  // n_new_fragments; untouched rows are spliced over with that column
+  // remap, bit-identical values included.
+  void IncrementalUpdate(const EntityLayout& new_layout,
+                         const EdgeStore& edges,
+                         const doc::DocumentStore& docs,
+                         const std::vector<char>& touched,
+                         uint32_t old_tag_base, uint32_t n_new_fragments);
 
   // out = in · T  (one exploration step). `out` is overwritten.
   void Propagate(const Frontier& in, Frontier& out) const;
@@ -81,6 +100,17 @@ class TransitionMatrix {
   std::vector<std::pair<uint32_t, double>> Row(uint32_t row) const;
 
  private:
+  // Computes one row (denominator + sorted normalized entries) and
+  // appends it to cols_/vals_; shared by Build and IncrementalUpdate.
+  void AppendComputedRow(
+      uint32_t row, const EntityLayout& layout, const EdgeStore& edges,
+      const doc::DocumentStore& docs,
+      std::unordered_map<uint32_t, double>& row_acc,
+      std::vector<std::pair<uint32_t, double>>& sorted_row);
+
+  // Rebuilds the transpose arrays from row_ptr_/cols_/vals_.
+  void BuildTranspose();
+
   std::vector<uint64_t> row_ptr_;
   std::vector<uint32_t> cols_;
   std::vector<double> vals_;

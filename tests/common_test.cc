@@ -298,5 +298,97 @@ TEST(BoundedQueueTest, MpmcDeliversEveryItemExactlyOnce) {
   EXPECT_EQ(sum.load(), n * (n - 1) / 2);
 }
 
+// ---- edge cases (live-update hardening) -------------------------------
+
+TEST(StatsTest, EmptyInputIsSafeNotUb) {
+  // These take caller-measured samples; empty must be a defined case
+  // even under NDEBUG (previously assert-only -> sorted[0] UB).
+  EXPECT_EQ(Quantile({}, 0.5), 0.0);
+  EXPECT_EQ(Mean({}), 0.0);
+  QuartileSummary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.median, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(StatsTest, QuantileClampsQ) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_EQ(Quantile(v, -0.5), 1.0);
+  EXPECT_EQ(Quantile(v, 1.5), 3.0);
+}
+
+TEST(LruCacheTest, GetPointerStaysValidAcrossUnrelatedPut) {
+  // The value lives in a list node: inserting (even evicting another
+  // key) must not move it. In-flight readers in the proximity cache
+  // rely on the shared_ptr they copied, but the raw pointer contract
+  // is pinned here: it dies only with its own entry.
+  LruCache<int, std::string> cache(2);
+  cache.Put(1, "one");
+  cache.Put(2, "two");
+  std::string* one = cache.Get(1);  // 1 most recent
+  ASSERT_NE(one, nullptr);
+  cache.Put(3, "three");  // evicts 2, not 1
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_EQ(*one, "one");
+  EXPECT_EQ(cache.Get(1), one);
+}
+
+TEST(LruCacheTest, OverwriteAtCapacityDoesNotEvict) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);  // at capacity
+  cache.Put(2, 21);  // overwrite: in-place, no eviction
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_TRUE(cache.Contains(1));
+  ASSERT_NE(cache.Get(2), nullptr);
+  EXPECT_EQ(*cache.Get(2), 21);
+  // The overwrite refreshed 2's recency: the next insert evicts 1.
+  cache.Put(3, 30);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+TEST(LruCacheTest, EraseIfRemovesMatchesOnly) {
+  LruCache<int, int> cache(8);
+  for (int i = 0; i < 6; ++i) cache.Put(i, i * 10);
+  size_t erased = cache.EraseIf(
+      [](const int& k, const int&) { return k % 2 == 0; });
+  EXPECT_EQ(erased, 3u);
+  EXPECT_EQ(cache.size(), 3u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(cache.Contains(i), i % 2 == 1) << i;
+  }
+  // Targeted invalidation is not a capacity eviction.
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(BoundedQueueTest, PushBlockedOnFullQueueWokenByCloseReturnsFalse) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.TryPush(1));  // full
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] { push_result.store(q.Push(2)); });
+  // The producer is (about to be) blocked on not_full_; Close must
+  // wake it and the refused item must not be admitted.
+  q.Close();
+  producer.join();
+  EXPECT_FALSE(push_result.load());
+  EXPECT_EQ(q.Pop().value(), 1);       // admitted work drains
+  EXPECT_EQ(q.Pop(), std::nullopt);    // 2 was never admitted
+}
+
+TEST(BoundedQueueTest, DrainAfterClosePreservesFifo) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.TryPush(i));
+  q.Close();
+  for (int i = 0; i < 4; ++i) {
+    auto item = q.Pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_EQ(q.Pop(), std::nullopt);
+}
+
 }  // namespace
 }  // namespace s3

@@ -6,7 +6,14 @@ Reads both google-benchmark output ({"benchmarks": [{"name",
 figure harnesses emit ({"benchmarks": [{"name", "ns_per_op", ...}]}).
 Benchmarks present in both files are compared on ns/op; a benchmark
 slower than baseline by more than --tolerance (default 25%) counts as
-a regression and flips the exit code to 1.
+a regression and flips the exit code to 1. Entries present on only one
+side (e.g. a new benchmark without a committed baseline yet, or a
+baseline record the run skipped) are reported and skipped, never
+failed; a missing baseline *file* is a graceful skip, so the check
+works before its baseline lands. A missing fresh file or a fully
+disjoint name set is an error unless --allow-disjoint is passed (used
+for merged multi-binary files where a run may contribute a subset) —
+otherwise a benchmark rename could silently turn the gate vacuous.
 
 Wired as a *non-blocking* CI step (continue-on-error): shared-runner
 perf is advisory. Locally:
@@ -15,8 +22,16 @@ perf is advisory. Locally:
         --benchmark_out_format=json
     tools/check_bench_regression.py --fresh build/BENCH_micro.json
 
-To refresh the baseline after an intentional perf change, overwrite
-bench/baselines/BENCH_micro.json with the fresh file and commit it.
+    # server + live-update throughput (one merged file; run the pair
+    # in this order — the server bench starts the file fresh, the
+    # update bench merges into it):
+    (cd build && ./bench_server_throughput && ./bench_update_throughput)
+    tools/check_bench_regression.py \
+        --baseline bench/baselines/BENCH_server.json \
+        --fresh build/BENCH_server.json
+
+To refresh a baseline after an intentional perf change, overwrite the
+file under bench/baselines/ with the fresh file and commit it.
 
 Baselines are machine-relative: numbers from a different host class
 shift uniformly and the ratio check absorbs part of that, but for a
@@ -81,16 +96,38 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed slowdown as a fraction "
                              "(default 0.25 = 25%%)")
+    parser.add_argument("--allow-disjoint", action="store_true",
+                        help="exit 0 when the fresh file is missing or "
+                             "shares no benchmark names with the "
+                             "baseline (for merged multi-binary files "
+                             "like BENCH_server.json, where a run may "
+                             "legitimately contribute only a subset); "
+                             "without it, a vacuous comparison fails "
+                             "loudly so renames can't silently disable "
+                             "the gate")
     args = parser.parse_args()
 
     if not os.path.exists(args.baseline):
         print("no baseline at %s — nothing to compare (ok)" % args.baseline)
         return 0
+    if not os.path.exists(args.fresh):
+        if args.allow_disjoint:
+            print("no fresh output at %s — bench not run here (skip, ok)"
+                  % args.fresh)
+            return 0
+        print("ERROR: no fresh output at %s" % args.fresh)
+        return 1
     baseline = load_ns_per_op(args.baseline)
     fresh = load_ns_per_op(args.fresh)
 
     common = sorted(set(baseline) & set(fresh))
     if not common:
+        if args.allow_disjoint:
+            # Disjoint record sets (e.g. only one contributing binary
+            # ran): nothing comparable is not a regression.
+            print("no benchmarks in common between %s and %s — skip (ok)"
+                  % (args.baseline, args.fresh))
+            return 0
         print("ERROR: no benchmarks in common between %s and %s"
               % (args.baseline, args.fresh))
         return 1
