@@ -1,0 +1,108 @@
+// Cold-start benchmark: how fast does a serving process get from a
+// snapshot file to a queryable instance?
+//
+// Compares the two load paths of the storage layer on the I1
+// (microblog) instance:
+//
+//   text    LoadInstance() + Finalize()   — population replay, then
+//           saturation + matrix + components rebuilt from scratch;
+//   binary  LoadBinarySnapshot()          — checksummed parse +
+//           AttachDerived(), no recomputation.
+//
+// Results are merged into BENCH_micro.json (BenchJsonWriter merge
+// mode) next to the google-benchmark records, so the bench-regression
+// gate tracks both numbers; run bench_micro first, then this binary.
+// The printed ratio is the acceptance-criterion measurement of the
+// durable-storage PR: binary attach must beat text+Finalize.
+//
+//   S3_BENCH_COLD_ITERS   timed iterations per codec (default 5)
+//   S3_BENCH_SCALE        instance scale multiplier (bench_util.h)
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "core/serialization.h"
+#include "core/snapshot_binary.h"
+
+namespace {
+
+size_t Iterations() {
+  const char* env = std::getenv("S3_BENCH_COLD_ITERS");
+  size_t n = env ? std::strtoul(env, nullptr, 10) : 5;
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace
+
+int main() {
+  using s3::WallTimer;
+
+  s3::workload::GenResult gen = s3::bench::MakeI1();
+  std::printf("bench_cold_start — instance %s: users=%zu docs=%zu "
+              "tags=%zu triples=%zu\n",
+              gen.name.c_str(), gen.instance->UserCount(),
+              gen.instance->docs().DocumentCount(),
+              gen.instance->TagCount(), gen.instance->rdf_graph().size());
+
+  const std::string text = s3::core::SaveInstance(*gen.instance);
+  auto binary = s3::core::SaveBinarySnapshot(*gen.instance);
+  if (!binary.ok()) {
+    std::fprintf(stderr, "SaveBinarySnapshot: %s\n",
+                 binary.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("snapshot bytes: text=%zu binary=%zu\n", text.size(),
+              binary->size());
+
+  const size_t iters = Iterations();
+
+  // Warm-up + correctness guard: both paths must yield the population.
+  {
+    auto loaded = s3::core::LoadInstance(text);
+    if (!loaded.ok() || !(*loaded)->Finalize().ok()) {
+      std::fprintf(stderr, "text load failed\n");
+      return 1;
+    }
+    auto attached = s3::core::LoadBinarySnapshot(*binary);
+    if (!attached.ok()) {
+      std::fprintf(stderr, "binary load failed: %s\n",
+                   attached.status().ToString().c_str());
+      return 1;
+    }
+    if ((*attached)->docs().NodeCount() != (*loaded)->docs().NodeCount()) {
+      std::fprintf(stderr, "load paths disagree on the population\n");
+      return 1;
+    }
+  }
+
+  double text_seconds = 0.0;
+  for (size_t i = 0; i < iters; ++i) {
+    WallTimer t;
+    auto loaded = s3::core::LoadInstance(text);
+    if (!loaded.ok() || !(*loaded)->Finalize().ok()) return 1;
+    text_seconds += t.ElapsedSeconds();
+  }
+
+  double binary_seconds = 0.0;
+  for (size_t i = 0; i < iters; ++i) {
+    WallTimer t;
+    auto attached = s3::core::LoadBinarySnapshot(*binary);
+    if (!attached.ok()) return 1;
+    binary_seconds += t.ElapsedSeconds();
+  }
+
+  const double text_ns = text_seconds / iters * 1e9;
+  const double binary_ns = binary_seconds / iters * 1e9;
+  const double speedup = binary_ns > 0 ? text_ns / binary_ns : 0.0;
+  std::printf("text load+Finalize : %8.2f ms/op\n", text_ns / 1e6);
+  std::printf("binary AttachDerived: %8.2f ms/op\n", binary_ns / 1e6);
+  std::printf("binary is %.2fx faster than text+Finalize\n", speedup);
+
+  s3::bench::BenchJsonWriter writer("BENCH_micro.json", /*merge=*/true);
+  writer.Add("BM_ColdStart_I1_TextLoadFinalize", text_ns);
+  char extra[64];
+  std::snprintf(extra, sizeof(extra), "\"speedup_vs_text\": %.2f",
+                speedup);
+  writer.Add("BM_ColdStart_I1_BinaryAttach", binary_ns, extra);
+  return 0;
+}

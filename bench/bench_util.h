@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -82,35 +83,106 @@ class BenchJsonWriter {
   }
 
  private:
-  // "    {\"name\": \"X\", ..." -> X ("" when not a record line).
-  static std::string RecordName(const std::string& line) {
-    const std::string marker = "{\"name\": \"";
-    size_t at = line.find(marker);
+  // Value of the "name" field anywhere in `record` ("" when absent).
+  // Tolerant of both this writer's compact one-line records and
+  // google-benchmark's pretty-printed objects.
+  static std::string RecordName(const std::string& record) {
+    const std::string marker = "\"name\"";
+    size_t at = record.find(marker);
     if (at == std::string::npos) return "";
     at += marker.size();
-    size_t end = line.find('"', at);
-    return end == std::string::npos ? "" : line.substr(at, end - at);
+    while (at < record.size() &&
+           (record[at] == ' ' || record[at] == ':')) {
+      ++at;
+    }
+    if (at >= record.size() || record[at] != '"') return "";
+    ++at;
+    size_t end = record.find('"', at);
+    return end == std::string::npos ? "" : record.substr(at, end - at);
+  }
+
+  // One-line form of a JSON object: whitespace outside strings is
+  // collapsed so a reloaded record stays a single line next merge.
+  static std::string CompactObject(const std::string& obj) {
+    std::string out = "    ";
+    bool in_string = false;
+    bool pending_space = false;
+    for (size_t i = 0; i < obj.size(); ++i) {
+      const char c = obj[i];
+      if (in_string) {
+        out.push_back(c);
+        if (c == '\\' && i + 1 < obj.size()) {
+          out.push_back(obj[++i]);
+        } else if (c == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      if (c == ' ' || c == '\n' || c == '\r' || c == '\t') {
+        pending_space = !out.empty() && out.back() != '{';
+        continue;
+      }
+      if (pending_space && c != '}' && c != ',' && c != ':') {
+        out.push_back(' ');
+      }
+      pending_space = false;
+      out.push_back(c);
+      if (c == '"') in_string = true;
+    }
+    return out;
   }
 
   // Prepends the previous run's records that this run does not
-  // replace. Only lines in this writer's own one-record-per-line
-  // format are recognized — good enough, since merge mode is for
-  // sibling BenchJsonWriter binaries sharing one file.
+  // replace, so several bench binaries can contribute to one file.
+  // Understands both this writer's own output and google-benchmark's
+  // --benchmark_out JSON ({"context": ..., "benchmarks": [...]}):
+  // objects of the "benchmarks" array are split by brace depth and
+  // compacted to one line each (the array entries of both producers
+  // are flat objects).
   void MergeExisting() {
     std::ifstream in(path_);
     if (!in) return;
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    size_t at = content.find("\"benchmarks\"");
+    if (at == std::string::npos) return;
+    at = content.find('[', at);
+    if (at == std::string::npos) return;
+
     std::unordered_set<std::string> fresh;
     for (const std::string& r : records_) fresh.insert(RecordName(r));
+
     std::vector<std::string> kept;
-    std::string line;
-    while (std::getline(in, line)) {
-      std::string name = RecordName(line);
-      if (name.empty() || fresh.count(name)) continue;
-      while (!line.empty() &&
-             (line.back() == ',' || line.back() == '\r')) {
-        line.pop_back();
+    int depth = 0;
+    bool in_string = false;
+    size_t obj_start = std::string::npos;
+    for (size_t i = at + 1; i < content.size(); ++i) {
+      const char c = content[i];
+      if (in_string) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_string = false;
+        }
+        continue;
       }
-      kept.push_back(line);
+      if (c == '"') {
+        in_string = true;
+      } else if (c == '{') {
+        if (depth++ == 0) obj_start = i;
+      } else if (c == '}') {
+        if (--depth == 0 && obj_start != std::string::npos) {
+          std::string obj =
+              content.substr(obj_start, i - obj_start + 1);
+          std::string name = RecordName(obj);
+          if (!name.empty() && !fresh.count(name)) {
+            kept.push_back(CompactObject(obj));
+          }
+          obj_start = std::string::npos;
+        }
+      } else if (c == ']' && depth == 0) {
+        break;
+      }
     }
     records_.insert(records_.begin(), kept.begin(), kept.end());
   }

@@ -1,0 +1,27 @@
+// Whole-file helpers for the storage layer (SnapshotManager, the
+// s3_snapshot tool): slurp a file into a string, and write one
+// crash-atomically.
+#ifndef S3_COMMON_FILE_IO_H_
+#define S3_COMMON_FILE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace s3 {
+
+// Reads the entire file at `path`. NotFound when it cannot be opened,
+// Internal on a read error.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+// Writes `bytes` to `path` via tmp + fsync + rename + parent-directory
+// fsync: after power loss the file either keeps its old content or
+// holds the new bytes in full — and the rename itself is durable, not
+// just the data (renames live in the directory, which has to be
+// synced separately on POSIX).
+Status WriteFileAtomic(const std::string& path, std::string_view bytes);
+
+}  // namespace s3
+
+#endif  // S3_COMMON_FILE_IO_H_

@@ -2,6 +2,7 @@
 #ifndef S3_COMMON_STR_UTIL_H_
 #define S3_COMMON_STR_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,6 +22,14 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 // Joins pieces with a separator.
 std::string Join(const std::vector<std::string>& pieces,
                  std::string_view sep);
+
+// Strict non-throwing numeric parsing for untrusted text input (the
+// serialization loaders): the whole token must be consumed; garbage,
+// signs, overflow and empty input return false instead of throwing
+// (std::stoul/stod throw, which turns a corrupt dump into a crash).
+bool ParseU32(std::string_view s, uint32_t* out);
+bool ParseU64(std::string_view s, uint64_t* out);
+bool ParseDouble(std::string_view s, double* out);
 
 }  // namespace s3
 

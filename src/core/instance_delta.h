@@ -89,6 +89,43 @@ class InstanceDelta {
   // a corrupted delta surfaces as an error, not silent misapplication.
   Status Replay(S3Instance& target) const;
 
+  // ---- WAL serialization ----------------------------------------------
+  //
+  // A delta serializes as one *self-delimiting* record:
+  //
+  //   u32 magic · u64 payload size · u32 CRC-32(payload) · payload
+  //
+  // where the payload opens with the (generation, lineage) of the base
+  // snapshot the delta was built against, followed by the interning
+  // overlay and the op log in order. Self-delimiting framing is what
+  // gives the server's write-ahead log its crash semantics: recovery
+  // replays records until the first truncated or corrupt frame and
+  // discards the tail (server/snapshot_manager.h).
+
+  // Frame-level view of the record at the head of `bytes`, without
+  // decoding the ops — recovery uses it to skip records already
+  // covered by a snapshot. InvalidArgument on a truncated or corrupt
+  // frame.
+  struct WalRecordInfo {
+    uint64_t base_generation = 0;
+    uint64_t base_lineage = 0;
+    size_t record_bytes = 0;  // full frame size, header included
+  };
+  static Result<WalRecordInfo> PeekWalRecord(std::string_view bytes);
+
+  // Appends this delta as one WAL record to `out`.
+  void EncodeWalRecord(std::string* out) const;
+
+  // Decodes the record at the head of `bytes` into a delta against
+  // `base` (which must be finalized and match the record's generation
+  // and lineage). Every op is rebuilt through the validating
+  // InstanceDelta API, so a corrupt payload that survives the checksum
+  // still comes back InvalidArgument, never a malformed delta. On
+  // success `*consumed` is the frame size.
+  static Result<InstanceDelta> DecodeWalRecord(
+      std::string_view bytes, size_t* consumed,
+      std::shared_ptr<const S3Instance> base);
+
  private:
   enum class OpKind : uint8_t { kDocument, kComment, kTag, kSocial };
 

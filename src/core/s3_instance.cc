@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <unordered_set>
 
 #include "common/cow.h"
@@ -18,6 +19,41 @@ namespace {
 const std::vector<social::TagId> kNoTags;
 const std::vector<doc::NodeId> kNoComments;
 const std::vector<social::ComponentId> kNoComponents;
+
+// Lineage tokens. Unique within a process by construction (atomic
+// counter); the counter is offset by a wall-clock base so tokens from
+// *different* processes — which can meet through one storage
+// directory across restarts (server/snapshot_manager.h) — practically
+// never collide either. A restored snapshot reserves its serialized
+// lineage (ReserveLineage) so that a Finalize run after a recovery
+// can never mint a colliding token in the same process.
+uint64_t LineageBase() {
+  static const uint64_t base =
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::seconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count())
+      << 20;
+  return base;
+}
+
+std::atomic<uint64_t> g_next_lineage{1};
+
+uint64_t MintLineage() {
+  return LineageBase() + g_next_lineage.fetch_add(1,
+                                                  std::memory_order_relaxed);
+}
+
+void ReserveLineage(uint64_t lineage) {
+  const uint64_t base = LineageBase();
+  if (lineage < base) return;  // every future mint already exceeds it
+  const uint64_t floor = lineage - base + 1;
+  uint64_t cur = g_next_lineage.load(std::memory_order_relaxed);
+  while (cur < floor &&
+         !g_next_lineage.compare_exchange_weak(cur, floor,
+                                               std::memory_order_relaxed)) {
+  }
+}
 }  // namespace
 
 S3Instance::S3Instance()
@@ -253,8 +289,7 @@ Status S3Instance::Finalize() {
   }
 
   finalized_ = true;
-  static std::atomic<uint64_t> next_lineage{1};
-  lineage_ = next_lineage.fetch_add(1, std::memory_order_relaxed);
+  lineage_ = MintLineage();
   return Status::OK();
 }
 
@@ -300,6 +335,220 @@ std::vector<KeywordId> S3Instance::ExtendKeyword(KeywordId k) const {
 std::vector<social::ComponentId>& S3Instance::CompsWithKeywordSlot(
     KeywordId k) {
   return MutableCow(comps_with_keyword_[k]);
+}
+
+Result<std::shared_ptr<const S3Instance>> S3Instance::FromSnapshot(
+    SnapshotPopulation pop, SnapshotDerived derived) {
+  auto bad = [](const std::string& why) {
+    return Status::InvalidArgument("snapshot population: " + why);
+  };
+  if (pop.terms == nullptr || pop.rdf == nullptr) {
+    return bad("missing term dictionary or RDF graph");
+  }
+  // Every saved instance pre-interned the S3 vocabulary at
+  // construction; its absence means this is not an S3Instance term
+  // dictionary at all.
+  if (pop.terms->Find(rdf::vocab::kSocial, rdf::TermKind::kUri) ==
+      rdf::kInvalidTerm) {
+    return bad("term dictionary lacks the S3 vocabulary");
+  }
+
+  std::shared_ptr<S3Instance> inst(new S3Instance());
+  inst->vocabulary_ = std::move(pop.vocabulary);
+  inst->users_ = std::move(pop.users);
+  inst->explicit_social_ = std::move(pop.explicit_social);
+  inst->docs_ = std::move(pop.docs);
+  inst->tags_ = std::move(pop.tags);
+  inst->edges_ = std::move(pop.edges);
+  inst->terms_ = std::move(pop.terms);
+  inst->rdf_ = std::move(pop.rdf);
+
+  const size_t n_users = inst->users_.size();
+  const size_t n_nodes = inst->docs_.NodeCount();
+  const size_t n_tags = inst->tags_.size();
+
+  for (size_t i = 0; i < n_users; ++i) {
+    if (inst->users_[i].id != i) return bad("user ids not dense");
+  }
+  for (const ExplicitSocialEdge& e : inst->explicit_social_) {
+    if (e.from >= n_users || e.to >= n_users) {
+      return bad("social edge endpoint out of range");
+    }
+    if (!(e.weight > 0.0 && e.weight <= 1.0)) {
+      return bad("social edge weight outside (0,1]");
+    }
+  }
+  if (pop.comment_target.size() != inst->docs_.DocumentCount()) {
+    return bad("comment-target table size mismatch");
+  }
+  for (doc::DocId d = 0; d < pop.comment_target.size(); ++d) {
+    doc::NodeId t = pop.comment_target[d];
+    if (t == doc::kInvalidNode) continue;
+    if (t >= n_nodes || inst->docs_.DocOf(t) == d) {
+      return bad("comment target invalid for doc " + std::to_string(d));
+    }
+  }
+  inst->comment_target_ = std::move(pop.comment_target);
+
+  // Tag table, validated in id order while rebuilding the subject
+  // lookup the population API maintains incrementally (push order ==
+  // id order, so the reload is exact).
+  for (size_t i = 0; i < n_tags; ++i) {
+    const Tag& t = inst->tags_[i];
+    if (t.id != i) return bad("tag ids not dense");
+    if (t.author >= n_users) return bad("tag author out of range");
+    if (t.keyword != kInvalidKeyword &&
+        t.keyword >= inst->vocabulary_.size()) {
+      return bad("tag keyword out of range");
+    }
+    switch (t.subject.kind()) {
+      case social::EntityKind::kFragment:
+        if (t.subject.index() >= n_nodes) {
+          return bad("tag subject node out of range");
+        }
+        break;
+      case social::EntityKind::kTag:
+        if (t.subject.index() >= t.id) {
+          return bad("tag subject must precede the tag");
+        }
+        break;
+      default:
+        return bad("tag subject must be a fragment or a tag");
+    }
+    inst->tags_on_[t.subject].push_back(t.id);
+  }
+
+  // Edge-log scan: endpoint range + label-signature validation, plus
+  // the comments-on lookup — kCommentsOn edges appear in the log in
+  // AddComment call order, so the scan reproduces the per-target push
+  // order exactly. The kind check matters beyond tidiness: a
+  // CRC-valid crafted snapshot could otherwise smuggle, say, a user
+  // index into comments_on_, whose consumers index document
+  // structures without re-checking.
+  using EK = social::EntityKind;
+  for (const social::NetEdge& e : inst->edges_.edges()) {
+    auto in_range = [&](social::EntityId id) {
+      switch (id.kind()) {
+        case EK::kUser:
+          return id.index() < n_users;
+        case EK::kFragment:
+          return id.index() < n_nodes;
+        case EK::kTag:
+          return id.index() < n_tags;
+      }
+      return false;
+    };
+    if (!in_range(e.source) || !in_range(e.target)) {
+      return bad("edge endpoint out of range");
+    }
+    auto is = [&](social::EntityId id, EK kind) {
+      return id.kind() == kind;
+    };
+    bool label_ok = false;
+    switch (e.label) {
+      case EdgeLabel::kSocial:
+        label_ok = is(e.source, EK::kUser) && is(e.target, EK::kUser);
+        break;
+      case EdgeLabel::kPostedBy:
+        label_ok = is(e.source, EK::kFragment) && is(e.target, EK::kUser);
+        break;
+      case EdgeLabel::kPostedByInv:
+        label_ok = is(e.source, EK::kUser) && is(e.target, EK::kFragment);
+        break;
+      case EdgeLabel::kCommentsOn:
+      case EdgeLabel::kCommentsOnInv:
+        label_ok =
+            is(e.source, EK::kFragment) && is(e.target, EK::kFragment);
+        break;
+      case EdgeLabel::kHasSubject:
+        label_ok = is(e.source, EK::kTag) && !is(e.target, EK::kUser);
+        break;
+      case EdgeLabel::kHasSubjectInv:
+        label_ok = !is(e.source, EK::kUser) && is(e.target, EK::kTag);
+        break;
+      case EdgeLabel::kHasAuthor:
+        label_ok = is(e.source, EK::kTag) && is(e.target, EK::kUser);
+        break;
+      case EdgeLabel::kHasAuthorInv:
+        label_ok = is(e.source, EK::kUser) && is(e.target, EK::kTag);
+        break;
+    }
+    if (!label_ok) {
+      return bad("edge endpoint kinds do not match label " +
+                 std::string(social::EdgeLabelName(e.label)));
+    }
+    if (e.label == EdgeLabel::kCommentsOn) {
+      inst->comments_on_[e.target.index()].push_back(e.source.index());
+    }
+  }
+
+  S3_RETURN_IF_ERROR(inst->AttachDerived(std::move(derived)));
+  return std::shared_ptr<const S3Instance>(std::move(inst));
+}
+
+Status S3Instance::AttachDerived(SnapshotDerived d) {
+  S3_RETURN_IF_ERROR(RequireNotFinalized("AttachDerived"));
+  auto bad = [](const std::string& why) {
+    return Status::InvalidArgument("snapshot derived state: " + why);
+  };
+  if (d.lineage == 0 || d.lineage > (uint64_t{1} << 62)) {
+    return bad("implausible lineage token");
+  }
+
+  layout_.emplace(static_cast<uint32_t>(users_.size()),
+                  static_cast<uint32_t>(docs_.NodeCount()),
+                  static_cast<uint32_t>(tags_.size()));
+
+  // Inverted index: per-list invariants (sorted unique, node range)
+  // were enforced by AdoptPostings while the codec parsed; only the
+  // cross-structure keyword bound is left.
+  for (KeywordId k : d.index.Keywords()) {
+    if (k >= vocabulary_.size()) {
+      return bad("inverted-index keyword out of range");
+    }
+  }
+  index_ = std::move(d.index);
+
+  S3_RETURN_IF_ERROR(matrix_.Adopt(
+      std::move(d.matrix_row_ptr), std::move(d.matrix_cols),
+      std::move(d.matrix_vals), std::move(d.matrix_denom),
+      layout_->total()));
+  S3_RETURN_IF_ERROR(
+      components_.AdoptForest(*layout_, std::move(d.component_forest)));
+
+  comps_with_keyword_.clear();
+  bool first_entry = true;
+  KeywordId prev = 0;
+  for (auto& [k, comps] : d.comps_with_keyword) {
+    if (k >= vocabulary_.size()) {
+      return bad("keyword-directory keyword out of range");
+    }
+    if (!first_entry && k <= prev) {
+      return bad("keyword directory not ascending");
+    }
+    first_entry = false;
+    prev = k;
+    if (comps.empty()) return bad("empty keyword-directory entry");
+    for (size_t i = 0; i < comps.size(); ++i) {
+      if (comps[i] >= components_.ComponentCount()) {
+        return bad("keyword-directory component out of range");
+      }
+      if (i > 0 && comps[i] <= comps[i - 1]) {
+        return bad("keyword-directory list not sorted unique");
+      }
+    }
+    comps_with_keyword_[k] =
+        std::make_shared<std::vector<social::ComponentId>>(
+            std::move(comps));
+  }
+
+  saturation_stats_ = d.saturation_stats;
+  rdf_social_edges_ = d.rdf_social_edges;
+  generation_ = d.generation;
+  lineage_ = d.lineage;
+  ReserveLineage(d.lineage);
+  finalized_ = true;
+  return Status::OK();
 }
 
 Result<std::shared_ptr<const S3Instance>> S3Instance::ApplyDelta(

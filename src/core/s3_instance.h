@@ -172,6 +172,55 @@ class S3Instance {
     return explicit_social_;
   }
 
+  // ---- durable snapshots ----------------------------------------------
+
+  // Deserialized population of a finalized snapshot (binary codec,
+  // core/snapshot_binary.cc). The codec rebuilds the member stores
+  // through their own APIs — ids are assigned densely in insertion
+  // order, so id-order replay reproduces them exactly — and hands the
+  // result to FromSnapshot, which installs it *without* the population
+  // API: AddUser/AddDocument/... would re-derive RDF triples and
+  // network edges that are already present verbatim in `rdf`/`edges`.
+  struct SnapshotPopulation {
+    Vocabulary vocabulary;
+    std::vector<User> users;
+    std::vector<ExplicitSocialEdge> explicit_social;
+    doc::DocumentStore docs;
+    std::vector<doc::NodeId> comment_target;  // per doc, kInvalidNode if none
+    std::vector<Tag> tags;
+    social::EdgeStore edges;  // full log, insertion order
+    std::shared_ptr<rdf::TermDictionary> terms;
+    std::shared_ptr<rdf::TripleStore> rdf;  // already saturated
+  };
+
+  // Deserialized derived state: everything Finalize would compute.
+  struct SnapshotDerived {
+    uint64_t generation = 0;
+    uint64_t lineage = 0;
+    uint64_t rdf_social_edges = 0;
+    rdf::SaturationStats saturation_stats;
+    doc::InvertedIndex index;  // built by the codec via AdoptPostings
+    std::vector<uint64_t> matrix_row_ptr;
+    std::vector<uint32_t> matrix_cols;
+    std::vector<double> matrix_vals;
+    std::vector<double> matrix_denom;
+    std::vector<uint32_t> component_forest;
+    std::vector<std::pair<KeywordId, std::vector<social::ComponentId>>>
+        comps_with_keyword;  // ascending keyword ids, sorted comp lists
+  };
+
+  // The load-side counterpart of Finalize's build path: installs a
+  // fully deserialized finalized snapshot, skipping saturation, the
+  // RDF social-edge import, matrix/component construction and the
+  // keyword directories entirely (AttachDerived validates and adopts
+  // them instead). Generation and lineage round-trip intact; the
+  // process-wide lineage counter is advanced past the restored lineage
+  // so freshly finalized instances can never collide with a recovered
+  // one. Returns InvalidArgument when any structure fails validation
+  // against the population.
+  static Result<std::shared_ptr<const S3Instance>> FromSnapshot(
+      SnapshotPopulation population, SnapshotDerived derived);
+
   // ---- finalized accessors --------------------------------------------
 
   const doc::DocumentStore& docs() const { return docs_; }
@@ -225,6 +274,13 @@ class S3Instance {
   S3Instance(const S3Instance&) = default;
 
   Status RequireNotFinalized(const char* op) const;
+
+  // Second phase of FromSnapshot: `this` holds the restored population
+  // and is not finalized. Validates the derived structures against the
+  // population (sizes, id ranges, structural invariants — float
+  // payloads are covered by the snapshot's checksum framing) and
+  // adopts them in place of a Finalize run.
+  Status AttachDerived(SnapshotDerived derived);
 
   // Incremental counterpart of Finalize() for ApplyDelta: the
   // population has been extended by a replayed delta (documents,

@@ -31,7 +31,8 @@ Result<std::string> UnescapeToken(std::string_view in) {
   std::string out;
   for (size_t i = 0; i < in.size();) {
     if (in[i] == '%') {
-      if (i + 2 >= in.size() + 1 || i + 2 > in.size()) {
+      // Both hex digits must be inside the token.
+      if (i + 2 >= in.size()) {
         return Status::InvalidArgument("truncated %-escape");
       }
       auto hex = [](char c) -> int {
@@ -193,6 +194,20 @@ Result<std::unique_ptr<S3Instance>> LoadInstance(std::string_view text) {
       return Status::InvalidArgument("line " + std::to_string(line_no) +
                                      ": " + why);
     };
+    // Strict numeric parsing: a corrupt dump (bit flips, truncation,
+    // garbage) must surface as InvalidArgument with the line number,
+    // never as a throw out of std::stoul/stod.
+    bool parse_ok = true;
+    auto u32 = [&](const std::string& t) -> uint32_t {
+      uint32_t v = 0;
+      if (!ParseU32(t, &v)) parse_ok = false;
+      return v;
+    };
+    auto f64 = [&](const std::string& t) -> double {
+      double v = 0.0;
+      if (!ParseDouble(t, &v)) parse_ok = false;
+      return v;
+    };
     if (tok.empty()) continue;
 
     if (tok[0] == "KW") {
@@ -207,10 +222,11 @@ Result<std::unique_ptr<S3Instance>> LoadInstance(std::string_view text) {
       inst->AddUser(*uri);
     } else if (tok[0] == "SOCIAL") {
       if (tok.size() != 4) return fail("SOCIAL takes 3 tokens");
-      Status s = inst->AddSocialEdge(
-          static_cast<social::UserId>(std::stoul(tok[1])),
-          static_cast<social::UserId>(std::stoul(tok[2])),
-          std::stod(tok[3]));
+      const social::UserId from = u32(tok[1]);
+      const social::UserId to = u32(tok[2]);
+      const double weight = f64(tok[3]);
+      if (!parse_ok) return fail("SOCIAL: malformed number");
+      Status s = inst->AddSocialEdge(from, to, weight);
       if (!s.ok()) return s;
     } else if (tok[0] == "DOC") {
       S3_RETURN_IF_ERROR(flush_doc());
@@ -218,8 +234,9 @@ Result<std::unique_ptr<S3Instance>> LoadInstance(std::string_view text) {
       Result<std::string> uri = UnescapeToken(tok[1]);
       if (!uri.ok()) return uri.status();
       pending_uri = *uri;
-      pending_poster = static_cast<social::UserId>(std::stoul(tok[2]));
-      pending_nodes = std::stoul(tok[3]);
+      pending_poster = u32(tok[2]);
+      pending_nodes = u32(tok[3]);
+      if (!parse_ok) return fail("DOC: malformed number");
       seen_nodes = 0;
     } else if (tok[0] == "N") {
       if (!pending_doc.has_value() && seen_nodes > 0) {
@@ -235,12 +252,17 @@ Result<std::unique_ptr<S3Instance>> LoadInstance(std::string_view text) {
         local = 0;
       } else {
         if (!pending_doc.has_value()) return fail("child before root");
-        local = pending_doc->AddChild(
-            static_cast<uint32_t>(std::stoul(tok[1])), *name);
+        const uint32_t parent = u32(tok[1]);
+        if (!parse_ok) return fail("N: malformed parent index");
+        if (parent >= pending_doc->NodeCount()) {
+          return fail("N: parent index out of range");
+        }
+        local = pending_doc->AddChild(parent, *name);
       }
       std::vector<KeywordId> kws;
       for (size_t i = 3; i < tok.size(); ++i) {
-        KeywordId k = static_cast<KeywordId>(std::stoul(tok[i]));
+        KeywordId k = u32(tok[i]);
+        if (!parse_ok) return fail("N: malformed keyword id");
         if (k >= inst->vocabulary().size()) {
           return fail("keyword id out of range");
         }
@@ -251,19 +273,18 @@ Result<std::unique_ptr<S3Instance>> LoadInstance(std::string_view text) {
     } else if (tok[0] == "COMMENT") {
       S3_RETURN_IF_ERROR(flush_doc());
       if (tok.size() != 3) return fail("COMMENT takes 2 tokens");
-      Status s = inst->AddComment(
-          static_cast<doc::DocId>(std::stoul(tok[1])),
-          static_cast<doc::NodeId>(std::stoul(tok[2])));
+      const doc::DocId comment = u32(tok[1]);
+      const doc::NodeId target = u32(tok[2]);
+      if (!parse_ok) return fail("COMMENT: malformed number");
+      Status s = inst->AddComment(comment, target);
       if (!s.ok()) return s;
     } else if (tok[0] == "TAGF" || tok[0] == "TAGT") {
       S3_RETURN_IF_ERROR(flush_doc());
       if (tok.size() != 4) return fail("TAG takes 3 tokens");
-      social::UserId author =
-          static_cast<social::UserId>(std::stoul(tok[1]));
-      uint32_t subject = static_cast<uint32_t>(std::stoul(tok[2]));
-      KeywordId kw = tok[3] == "-"
-                         ? kInvalidKeyword
-                         : static_cast<KeywordId>(std::stoul(tok[3]));
+      social::UserId author = u32(tok[1]);
+      uint32_t subject = u32(tok[2]);
+      KeywordId kw = tok[3] == "-" ? kInvalidKeyword : u32(tok[3]);
+      if (!parse_ok) return fail("TAG: malformed number");
       if (tok[0] == "TAGF") {
         auto r = inst->AddTagOnFragment(author, subject, kw);
         if (!r.ok()) return r.status();

@@ -19,6 +19,12 @@
 // Loading returns an *unfinalized* instance; call Finalize() before
 // querying. Round-tripping a populated instance preserves all query
 // behaviour (see serialization_test).
+//
+// This is the *text* codec of the storage layer: kept for
+// debuggability (human-diffable dumps) and conversion. Production
+// persistence uses the binary snapshot codec (core/snapshot_binary.h),
+// which also serializes derived state; core/snapshot.h is the
+// format-dispatching seam over both.
 #ifndef S3_CORE_SERIALIZATION_H_
 #define S3_CORE_SERIALIZATION_H_
 

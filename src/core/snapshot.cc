@@ -1,0 +1,51 @@
+#include "core/snapshot.h"
+
+#include "common/str_util.h"
+#include "core/serialization.h"
+#include "core/snapshot_binary.h"
+
+namespace s3::core {
+
+const char* SnapshotFormatName(SnapshotFormat format) {
+  switch (format) {
+    case SnapshotFormat::kText:
+      return "text";
+    case SnapshotFormat::kBinary:
+      return "binary";
+  }
+  return "?";
+}
+
+Result<SnapshotFormat> DetectSnapshotFormat(std::string_view bytes) {
+  if (LooksLikeBinarySnapshot(bytes)) return SnapshotFormat::kBinary;
+  if (StartsWith(bytes, "S3 v1")) return SnapshotFormat::kText;
+  return Status::InvalidArgument(
+      "unrecognized snapshot: neither the text header 'S3 v1' nor the "
+      "binary snapshot magic");
+}
+
+Result<std::string> SaveSnapshot(const S3Instance& instance,
+                                 SnapshotFormat format) {
+  switch (format) {
+    case SnapshotFormat::kText:
+      return SaveInstance(instance);
+    case SnapshotFormat::kBinary:
+      return SaveBinarySnapshot(instance);
+  }
+  return Status::InvalidArgument("unknown snapshot format");
+}
+
+Result<std::shared_ptr<const S3Instance>> LoadSnapshot(
+    std::string_view bytes) {
+  Result<SnapshotFormat> format = DetectSnapshotFormat(bytes);
+  if (!format.ok()) return format.status();
+  if (*format == SnapshotFormat::kBinary) {
+    return LoadBinarySnapshot(bytes);
+  }
+  Result<std::unique_ptr<S3Instance>> loaded = LoadInstance(bytes);
+  if (!loaded.ok()) return loaded.status();
+  S3_RETURN_IF_ERROR((*loaded)->Finalize());
+  return std::shared_ptr<const S3Instance>(std::move(*loaded));
+}
+
+}  // namespace s3::core

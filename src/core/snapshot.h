@@ -1,0 +1,47 @@
+// Format seam over the two snapshot codecs:
+//
+//   * kText   — the line-oriented population dump (core/serialization.h).
+//     Human-diffable, loses derived state; loading pays a full
+//     Finalize() and assigns a *fresh* generation-0 lineage.
+//   * kBinary — the checksummed binary snapshot (core/snapshot_binary.h).
+//     Serializes derived state; loading attaches it without
+//     recomputation and round-trips generation + lineage.
+//
+// SaveSnapshot / LoadSnapshot dispatch on an explicit format or on
+// content sniffing, so callers (SnapshotManager, the s3_snapshot tool,
+// benches) speak one API and the text codec stays available for
+// debuggability and conversion.
+#ifndef S3_CORE_SNAPSHOT_H_
+#define S3_CORE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/s3_instance.h"
+
+namespace s3::core {
+
+enum class SnapshotFormat { kText, kBinary };
+
+const char* SnapshotFormatName(SnapshotFormat format);
+
+// Sniffs the codec from the leading magic ("S3 v1" / the binary
+// magic). Unrecognized input fails with InvalidArgument.
+Result<SnapshotFormat> DetectSnapshotFormat(std::string_view bytes);
+
+// Serializes `instance` in the requested format. Text accepts any
+// instance; binary requires a finalized one.
+Result<std::string> SaveSnapshot(const S3Instance& instance,
+                                 SnapshotFormat format);
+
+// Loads either format into a *finalized* instance: binary input
+// attaches its derived state, text input is populated and then
+// finalized (fresh lineage, generation 0).
+Result<std::shared_ptr<const S3Instance>> LoadSnapshot(
+    std::string_view bytes);
+
+}  // namespace s3::core
+
+#endif  // S3_CORE_SNAPSHOT_H_

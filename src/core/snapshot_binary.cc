@@ -1,0 +1,784 @@
+#include "core/snapshot_binary.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/binary_io.h"
+#include "doc/document_wire.h"
+
+namespace s3::core {
+
+namespace {
+
+// First byte outside ASCII (PNG-style) so no text dump can alias the
+// magic; trailing \n catches CRLF mangling.
+constexpr char kMagic[8] = {'\x89', 'S', '3', 'S', 'N', 'A', 'P', '\n'};
+
+enum SectionId : uint32_t {
+  kMeta = 1,          // generation/lineage, saturation stats, counts
+  kVocab = 2,         // keyword spellings, id order
+  kUsers = 3,         // user URIs, id order
+  kTerms = 4,         // RDF term dictionary, id order
+  kTriples = 5,       // saturated triple store, store order
+  kDocs = 6,          // document trees + root URIs, id order
+  kComments = 7,      // per-doc comment target
+  kTags = 8,          // tag table, id order
+  kSocial = 9,        // explicit social edges, insertion order
+  kEdges = 10,        // network edge log, insertion order
+  kIndex = 11,        // inverted-index postings, ascending keyword
+  kMatrix = 12,       // transition-matrix CSR + denominators
+  kComponents = 13,   // component union-find forest
+  kKeywordComps = 14, // keyword -> component directory, ascending
+};
+constexpr uint32_t kSectionCount = 14;
+
+// Entity indices are packed into 30 bits (social/entity.h); any count
+// at or above this limit cannot have been produced by a real instance.
+constexpr uint64_t kMaxEntityCount = 1u << 30;
+
+const char* SectionName(uint32_t id) {
+  switch (id) {
+    case kMeta: return "META";
+    case kVocab: return "VOCAB";
+    case kUsers: return "USERS";
+    case kTerms: return "TERMS";
+    case kTriples: return "TRIPLES";
+    case kDocs: return "DOCS";
+    case kComments: return "COMMENTS";
+    case kTags: return "TAGS";
+    case kSocial: return "SOCIAL";
+    case kEdges: return "EDGES";
+    case kIndex: return "INDEX";
+    case kMatrix: return "MATRIX";
+    case kComponents: return "COMPONENTS";
+    case kKeywordComps: return "KWCOMPS";
+    default: return "?";
+  }
+}
+
+Status SectionError(uint32_t id, const std::string& why) {
+  return Status::InvalidArgument(std::string("binary snapshot, section ") +
+                                 SectionName(id) + ": " + why);
+}
+
+// Population counts and identity carried by the META section; every
+// other section is validated against these.
+struct Meta {
+  uint64_t generation = 0;
+  uint64_t lineage = 0;
+  uint64_t rdf_social_edges = 0;
+  rdf::SaturationStats saturation;
+  uint64_t n_users = 0, n_docs = 0, n_nodes = 0, n_tags = 0;
+  uint64_t n_keywords = 0, n_edges = 0, n_terms = 0, n_triples = 0;
+};
+
+void WriteMeta(const S3Instance& inst, ByteWriter& w) {
+  w.U64(inst.generation());
+  w.U64(inst.lineage());
+  w.U64(inst.rdf_social_edges());
+  const rdf::SaturationStats& st = inst.saturation_stats();
+  w.U64(st.input_triples);
+  w.U64(st.derived_triples);
+  w.U64(st.rounds);
+  w.U64(inst.UserCount());
+  w.U64(inst.docs().DocumentCount());
+  w.U64(inst.docs().NodeCount());
+  w.U64(inst.TagCount());
+  w.U64(inst.vocabulary().size());
+  w.U64(inst.edges().size());
+  w.U64(inst.terms().size());
+  w.U64(inst.rdf_graph().size());
+}
+
+bool ReadMeta(ByteReader& r, Meta& m) {
+  m.generation = r.U64();
+  m.lineage = r.U64();
+  m.rdf_social_edges = r.U64();
+  m.saturation.input_triples = static_cast<size_t>(r.U64());
+  m.saturation.derived_triples = static_cast<size_t>(r.U64());
+  m.saturation.rounds = static_cast<size_t>(r.U64());
+  m.n_users = r.U64();
+  m.n_docs = r.U64();
+  m.n_nodes = r.U64();
+  m.n_tags = r.U64();
+  m.n_keywords = r.U64();
+  m.n_edges = r.U64();
+  m.n_terms = r.U64();
+  m.n_triples = r.U64();
+  return r.AtEnd();
+}
+
+// One framed section as located in the input.
+struct Frame {
+  uint64_t size = 0;
+  uint32_t crc = 0;
+  std::string_view payload;
+  bool crc_ok = false;
+};
+
+// Walks the header and section frames. `verify_crc` computes checksums
+// (LoadBinarySnapshot requires them; InspectBinarySnapshot records
+// mismatches instead of failing). On success frames[id-1] holds the
+// payload of section `id` — the fixed ascending order is enforced.
+Status ParseFrames(std::string_view bytes, bool strict_crc,
+                   uint32_t* version, Frame (&frames)[kSectionCount]) {
+  ByteReader r(bytes);
+  std::string_view magic = r.Bytes(sizeof(kMagic));
+  if (r.failed() || magic != std::string_view(kMagic, sizeof(kMagic))) {
+    return Status::InvalidArgument(
+        "binary snapshot: bad magic (not a binary snapshot file)");
+  }
+  *version = r.U32();
+  if (r.failed() || *version != kBinarySnapshotVersion) {
+    return Status::InvalidArgument(
+        "binary snapshot: unsupported format version " +
+        std::to_string(*version));
+  }
+  const uint32_t n_sections = r.U32();
+  if (r.failed() || n_sections != kSectionCount) {
+    return Status::InvalidArgument(
+        "binary snapshot: expected " + std::to_string(kSectionCount) +
+        " sections, header declares " + std::to_string(n_sections));
+  }
+  for (uint32_t expect = 1; expect <= kSectionCount; ++expect) {
+    const uint32_t id = r.U32();
+    Frame& f = frames[expect - 1];
+    f.size = r.U64();
+    f.crc = r.U32();
+    if (r.failed() || id != expect) {
+      return Status::InvalidArgument(
+          "binary snapshot: truncated or out-of-order section table "
+          "(expected section " + std::string(SectionName(expect)) + ")");
+    }
+    f.payload = r.Bytes(static_cast<size_t>(f.size));
+    if (r.failed()) {
+      return SectionError(id, "payload truncated");
+    }
+    f.crc_ok = Crc32(f.payload) == f.crc;
+    if (strict_crc && !f.crc_ok) {
+      return SectionError(id, "checksum mismatch (corrupt payload)");
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "binary snapshot: trailing bytes after the last section");
+  }
+  return Status::OK();
+}
+
+// ---- section writers ---------------------------------------------------
+
+void AppendSection(std::string* out, uint32_t id,
+                   const std::string& payload) {
+  ByteWriter w(out);
+  w.U32(id);
+  w.U64(payload.size());
+  w.U32(Crc32(payload));
+  out->append(payload);
+}
+
+std::string WriteVocab(const S3Instance& inst) {
+  std::string p;
+  ByteWriter w(&p);
+  w.U64(inst.vocabulary().size());
+  for (KeywordId k = 0; k < inst.vocabulary().size(); ++k) {
+    w.Str(inst.vocabulary().Spelling(k));
+  }
+  return p;
+}
+
+std::string WriteUsers(const S3Instance& inst) {
+  std::string p;
+  ByteWriter w(&p);
+  w.U64(inst.users().size());
+  for (const User& u : inst.users()) w.Str(u.uri);
+  return p;
+}
+
+std::string WriteTerms(const S3Instance& inst) {
+  std::string p;
+  ByteWriter w(&p);
+  const rdf::TermDictionary& terms = inst.terms();
+  w.U64(terms.size());
+  for (rdf::TermId t = 0; t < terms.size(); ++t) {
+    w.U8(static_cast<uint8_t>(terms.Kind(t)));
+    w.Str(terms.Text(t));
+  }
+  return p;
+}
+
+std::string WriteTriples(const S3Instance& inst) {
+  std::string p;
+  ByteWriter w(&p);
+  const auto& triples = inst.rdf_graph().triples();
+  w.U64(triples.size());
+  for (const rdf::Triple& t : triples) {
+    w.U32(t.subject);
+    w.U32(t.property);
+    w.U32(t.object);
+    w.F64(t.weight);
+  }
+  return p;
+}
+
+std::string WriteDocs(const S3Instance& inst) {
+  std::string p;
+  ByteWriter w(&p);
+  const doc::DocumentStore& docs = inst.docs();
+  w.U64(docs.DocumentCount());
+  for (doc::DocId d = 0; d < docs.DocumentCount(); ++d) {
+    w.Str(docs.Uri(docs.RootNode(d)));
+    doc::WriteDocumentTree(docs.document(d), w);
+  }
+  return p;
+}
+
+std::string WriteComments(const S3Instance& inst) {
+  std::string p;
+  ByteWriter w(&p);
+  const size_t n_docs = inst.docs().DocumentCount();
+  w.U64(n_docs);
+  for (doc::DocId d = 0; d < n_docs; ++d) w.U32(inst.CommentTarget(d));
+  return p;
+}
+
+std::string WriteTags(const S3Instance& inst) {
+  std::string p;
+  ByteWriter w(&p);
+  w.U64(inst.tags().size());
+  for (const Tag& t : inst.tags()) {
+    w.U32(t.author);
+    w.U8(t.subject.kind() == social::EntityKind::kTag ? 1 : 0);
+    w.U32(t.subject.index());
+    w.U32(t.keyword);
+  }
+  return p;
+}
+
+std::string WriteSocial(const S3Instance& inst) {
+  std::string p;
+  ByteWriter w(&p);
+  w.U64(inst.explicit_social_edges().size());
+  for (const S3Instance::ExplicitSocialEdge& e :
+       inst.explicit_social_edges()) {
+    w.U32(e.from);
+    w.U32(e.to);
+    w.F64(e.weight);
+  }
+  return p;
+}
+
+std::string WriteEdges(const S3Instance& inst) {
+  std::string p;
+  ByteWriter w(&p);
+  w.U64(inst.edges().size());
+  for (const social::NetEdge& e : inst.edges().edges()) {
+    w.U8(static_cast<uint8_t>(e.label));
+    w.U32(e.source.packed());
+    w.U32(e.target.packed());
+    w.F64(e.weight);
+  }
+  return p;
+}
+
+std::string WriteIndex(const S3Instance& inst) {
+  std::string p;
+  ByteWriter w(&p);
+  std::vector<KeywordId> keys = inst.index().Keywords();
+  std::sort(keys.begin(), keys.end());
+  w.U64(keys.size());
+  for (KeywordId k : keys) {
+    const std::vector<doc::NodeId>& postings = inst.index().Postings(k);
+    w.U32(k);
+    w.U64(postings.size());
+    for (doc::NodeId n : postings) w.U32(n);
+  }
+  return p;
+}
+
+std::string WriteMatrix(const S3Instance& inst) {
+  std::string p;
+  ByteWriter w(&p);
+  const social::TransitionMatrix& m = inst.matrix();
+  w.U64(m.rows());
+  for (uint64_t v : m.row_ptr()) w.U64(v);
+  w.U64(m.col_index().size());
+  for (uint32_t c : m.col_index()) w.U32(c);
+  for (double v : m.values()) w.F64(v);
+  for (double v : m.denominators()) w.F64(v);
+  return p;
+}
+
+std::string WriteComponents(const S3Instance& inst) {
+  std::string p;
+  ByteWriter w(&p);
+  const std::vector<uint32_t>& forest = inst.components().forest();
+  w.U64(forest.size());
+  for (uint32_t parent : forest) w.U32(parent);
+  return p;
+}
+
+std::string WriteKeywordComps(const S3Instance& inst) {
+  std::string p;
+  ByteWriter w(&p);
+  // Ascending keyword scan yields canonical (deterministic) bytes.
+  std::vector<std::pair<KeywordId, const std::vector<social::ComponentId>*>>
+      entries;
+  for (KeywordId k = 0; k < inst.vocabulary().size(); ++k) {
+    const std::vector<social::ComponentId>& comps =
+        inst.ComponentsWithKeyword(k);
+    if (!comps.empty()) entries.emplace_back(k, &comps);
+  }
+  w.U64(entries.size());
+  for (const auto& [k, comps] : entries) {
+    w.U32(k);
+    w.U64(comps->size());
+    for (social::ComponentId c : *comps) w.U32(c);
+  }
+  return p;
+}
+
+// ---- section readers ---------------------------------------------------
+// Each reader consumes its payload exactly (AtEnd is part of the
+// contract) and validates ids against the META counts.
+
+Status ReadVocab(ByteReader& r, const Meta& meta, Vocabulary& vocab) {
+  const uint64_t n = r.U64();
+  if (n != meta.n_keywords) return SectionError(kVocab, "count mismatch");
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string spelling = r.Str();
+    if (r.failed()) break;
+    if (vocab.Intern(spelling) != i) {
+      return SectionError(kVocab, "duplicate spelling at id " +
+                                      std::to_string(i));
+    }
+  }
+  if (!r.AtEnd()) return r.status("binary snapshot, section VOCAB");
+  return Status::OK();
+}
+
+Status ReadUsers(ByteReader& r, const Meta& meta,
+                 std::vector<User>& users) {
+  const uint64_t n = r.U64();
+  if (n != meta.n_users) return SectionError(kUsers, "count mismatch");
+  if (!r.FitsCount(n, 4)) return SectionError(kUsers, "count truncated");
+  users.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    users.push_back(User{static_cast<social::UserId>(i), r.Str()});
+  }
+  if (!r.AtEnd()) return r.status("binary snapshot, section USERS");
+  return Status::OK();
+}
+
+Status ReadTerms(ByteReader& r, const Meta& meta,
+                 rdf::TermDictionary& terms) {
+  const uint64_t n = r.U64();
+  if (n != meta.n_terms) return SectionError(kTerms, "count mismatch");
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint8_t kind = r.U8();
+    std::string text = r.Str();
+    if (r.failed()) break;
+    if (kind > 1) return SectionError(kTerms, "bad term kind");
+    if (terms.Intern(text, static_cast<rdf::TermKind>(kind)) != i) {
+      return SectionError(kTerms,
+                          "duplicate term at id " + std::to_string(i));
+    }
+  }
+  if (!r.AtEnd()) return r.status("binary snapshot, section TERMS");
+  return Status::OK();
+}
+
+Status ReadTriples(ByteReader& r, const Meta& meta,
+                   const rdf::TermDictionary& terms,
+                   rdf::TripleStore& rdf) {
+  const uint64_t n = r.U64();
+  if (n != meta.n_triples) return SectionError(kTriples, "count mismatch");
+  if (!r.FitsCount(n, 20)) return SectionError(kTriples, "count truncated");
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint32_t s = r.U32();
+    const uint32_t p = r.U32();
+    const uint32_t o = r.U32();
+    const double w = r.F64();
+    if (r.failed()) break;
+    if (s >= meta.n_terms || p >= meta.n_terms || o >= meta.n_terms) {
+      return SectionError(kTriples, "term id out of range");
+    }
+    // RDF: subjects and properties are URIs; weights live in [0, 1].
+    if (terms.Kind(s) != rdf::TermKind::kUri ||
+        terms.Kind(p) != rdf::TermKind::kUri) {
+      return SectionError(kTriples, "literal subject or property");
+    }
+    if (!(w >= 0.0 && w <= 1.0)) {
+      return SectionError(kTriples, "weight outside [0,1]");
+    }
+    if (!rdf.Add(s, p, o, w)) {
+      return SectionError(kTriples, "duplicate triple");
+    }
+  }
+  if (!r.AtEnd()) return r.status("binary snapshot, section TRIPLES");
+  return Status::OK();
+}
+
+Status ReadDocs(ByteReader& r, const Meta& meta,
+                doc::DocumentStore& docs) {
+  const uint64_t n = r.U64();
+  if (n != meta.n_docs) return SectionError(kDocs, "count mismatch");
+  for (uint64_t d = 0; d < n; ++d) {
+    std::string uri = r.Str();
+    if (r.failed()) break;
+    Result<doc::Document> document =
+        doc::ReadDocumentTree(r, meta.n_keywords);
+    if (!document.ok()) {
+      return SectionError(kDocs, "doc " + std::to_string(d) + ": " +
+                                     document.status().message());
+    }
+    Result<doc::DocId> added = docs.AddDocument(std::move(*document), uri);
+    if (!added.ok()) {
+      return SectionError(kDocs, "doc " + std::to_string(d) + ": " +
+                                     added.status().message());
+    }
+  }
+  if (!r.AtEnd()) return r.status("binary snapshot, section DOCS");
+  if (docs.NodeCount() != meta.n_nodes) {
+    return SectionError(kDocs, "node total mismatch");
+  }
+  return Status::OK();
+}
+
+Status ReadComments(ByteReader& r, const Meta& meta,
+                    std::vector<doc::NodeId>& comment_target) {
+  const uint64_t n = r.U64();
+  if (n != meta.n_docs) return SectionError(kComments, "count mismatch");
+  if (!r.FitsCount(n, 4)) return SectionError(kComments, "count truncated");
+  comment_target.reserve(static_cast<size_t>(n));
+  for (uint64_t d = 0; d < n; ++d) comment_target.push_back(r.U32());
+  if (!r.AtEnd()) return r.status("binary snapshot, section COMMENTS");
+  return Status::OK();
+}
+
+Status ReadTags(ByteReader& r, const Meta& meta, std::vector<Tag>& tags) {
+  const uint64_t n = r.U64();
+  if (n != meta.n_tags) return SectionError(kTags, "count mismatch");
+  if (!r.FitsCount(n, 13)) return SectionError(kTags, "count truncated");
+  tags.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint32_t author = r.U32();
+    const uint8_t on_tag = r.U8();
+    const uint32_t subject = r.U32();
+    const uint32_t keyword = r.U32();
+    if (r.failed()) break;
+    if (on_tag > 1 || subject >= kMaxEntityCount) {
+      return SectionError(kTags, "bad tag subject");
+    }
+    tags.push_back(Tag{static_cast<social::TagId>(i), author,
+                       on_tag ? social::EntityId::Tag(subject)
+                              : social::EntityId::Fragment(subject),
+                       keyword});
+  }
+  if (!r.AtEnd()) return r.status("binary snapshot, section TAGS");
+  return Status::OK();
+}
+
+Status ReadSocial(ByteReader& r, const Meta& /*meta*/,
+                  std::vector<S3Instance::ExplicitSocialEdge>& social) {
+  const uint64_t n = r.U64();
+  if (!r.FitsCount(n, 16)) return SectionError(kSocial, "count truncated");
+  social.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    S3Instance::ExplicitSocialEdge e;
+    e.from = r.U32();
+    e.to = r.U32();
+    e.weight = r.F64();
+    social.push_back(e);
+  }
+  if (!r.AtEnd()) return r.status("binary snapshot, section SOCIAL");
+  return Status::OK();
+}
+
+Status ReadEdges(ByteReader& r, const Meta& meta,
+                 social::EdgeStore& edges) {
+  const uint64_t n = r.U64();
+  if (n != meta.n_edges) return SectionError(kEdges, "count mismatch");
+  if (!r.FitsCount(n, 17)) return SectionError(kEdges, "count truncated");
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint8_t label = r.U8();
+    const uint32_t source = r.U32();
+    const uint32_t target = r.U32();
+    const double weight = r.F64();
+    if (r.failed()) break;
+    if (label > static_cast<uint8_t>(social::EdgeLabel::kHasAuthorInv)) {
+      return SectionError(kEdges, "bad edge label");
+    }
+    if (!social::EntityId::ValidKind(source) ||
+        !social::EntityId::ValidKind(target)) {
+      return SectionError(kEdges, "bad edge endpoint kind");
+    }
+    if (!(weight > 0.0 && weight <= 1.0)) {
+      return SectionError(kEdges, "edge weight outside (0,1]");
+    }
+    edges.Add(social::EntityId::FromPacked(source),
+              social::EntityId::FromPacked(target),
+              static_cast<social::EdgeLabel>(label), weight);
+  }
+  if (!r.AtEnd()) return r.status("binary snapshot, section EDGES");
+  return Status::OK();
+}
+
+Status ReadIndex(ByteReader& r, const Meta& meta,
+                 doc::InvertedIndex& index) {
+  const uint64_t n = r.U64();
+  if (!r.FitsCount(n, 12)) return SectionError(kIndex, "count truncated");
+  KeywordId prev = 0;
+  bool first = true;
+  for (uint64_t i = 0; i < n; ++i) {
+    const KeywordId k = r.U32();
+    const uint64_t len = r.U64();
+    if (r.failed()) break;
+    if (k >= meta.n_keywords || (!first && k <= prev)) {
+      return SectionError(kIndex, "keyword ids not ascending/in range");
+    }
+    first = false;
+    prev = k;
+    if (!r.FitsCount(len, 4)) {
+      return SectionError(kIndex, "postings length truncated");
+    }
+    std::vector<doc::NodeId> nodes;
+    nodes.reserve(static_cast<size_t>(len));
+    for (uint64_t j = 0; j < len; ++j) nodes.push_back(r.U32());
+    if (r.failed()) break;
+    Status adopted = index.AdoptPostings(
+        k, std::move(nodes), static_cast<size_t>(meta.n_nodes));
+    if (!adopted.ok()) {
+      return SectionError(kIndex, adopted.message());
+    }
+  }
+  if (!r.AtEnd()) return r.status("binary snapshot, section INDEX");
+  return Status::OK();
+}
+
+Status ReadMatrix(ByteReader& r, const Meta& meta,
+                  S3Instance::SnapshotDerived& der) {
+  const uint64_t n_rows = r.U64();
+  const uint64_t expected =
+      meta.n_users + meta.n_nodes + meta.n_tags;
+  if (n_rows != expected) return SectionError(kMatrix, "row count mismatch");
+  if (!r.FitsCount(n_rows + 1, 8)) {
+    return SectionError(kMatrix, "row table truncated");
+  }
+  der.matrix_row_ptr.reserve(static_cast<size_t>(n_rows) + 1);
+  for (uint64_t i = 0; i <= n_rows; ++i) der.matrix_row_ptr.push_back(r.U64());
+  const uint64_t nnz = r.U64();
+  if (!r.FitsCount(nnz, 12)) return SectionError(kMatrix, "nnz truncated");
+  der.matrix_cols.reserve(static_cast<size_t>(nnz));
+  for (uint64_t i = 0; i < nnz; ++i) der.matrix_cols.push_back(r.U32());
+  der.matrix_vals.reserve(static_cast<size_t>(nnz));
+  for (uint64_t i = 0; i < nnz; ++i) der.matrix_vals.push_back(r.F64());
+  der.matrix_denom.reserve(static_cast<size_t>(n_rows));
+  for (uint64_t i = 0; i < n_rows; ++i) der.matrix_denom.push_back(r.F64());
+  if (!r.AtEnd()) return r.status("binary snapshot, section MATRIX");
+  return Status::OK();
+}
+
+Status ReadComponents(ByteReader& r, const Meta& meta,
+                      std::vector<uint32_t>& forest) {
+  const uint64_t n = r.U64();
+  if (n != meta.n_users + meta.n_nodes + meta.n_tags) {
+    return SectionError(kComponents, "row count mismatch");
+  }
+  if (!r.FitsCount(n, 4)) {
+    return SectionError(kComponents, "count truncated");
+  }
+  forest.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) forest.push_back(r.U32());
+  if (!r.AtEnd()) return r.status("binary snapshot, section COMPONENTS");
+  return Status::OK();
+}
+
+Status ReadKeywordComps(
+    ByteReader& r, const Meta& /*meta*/,
+    std::vector<std::pair<KeywordId, std::vector<social::ComponentId>>>&
+        out) {
+  const uint64_t n = r.U64();
+  if (!r.FitsCount(n, 12)) {
+    return SectionError(kKeywordComps, "count truncated");
+  }
+  out.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    const KeywordId k = r.U32();
+    const uint64_t len = r.U64();
+    if (r.failed()) break;
+    if (!r.FitsCount(len, 4)) {
+      return SectionError(kKeywordComps, "list length truncated");
+    }
+    std::vector<social::ComponentId> comps;
+    comps.reserve(static_cast<size_t>(len));
+    for (uint64_t j = 0; j < len; ++j) comps.push_back(r.U32());
+    out.emplace_back(k, std::move(comps));
+  }
+  if (!r.AtEnd()) return r.status("binary snapshot, section KWCOMPS");
+  return Status::OK();
+}
+
+}  // namespace
+
+bool LooksLikeBinarySnapshot(std::string_view bytes) {
+  return bytes.size() >= sizeof(kMagic) &&
+         bytes.substr(0, sizeof(kMagic)) ==
+             std::string_view(kMagic, sizeof(kMagic));
+}
+
+Result<std::string> SaveBinarySnapshot(const S3Instance& inst) {
+  if (!inst.finalized()) {
+    return Status::FailedPrecondition(
+        "binary snapshots require a finalized instance (the format "
+        "serializes derived state; use the text codec for build-phase "
+        "dumps)");
+  }
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  {
+    ByteWriter w(&out);
+    w.U32(kBinarySnapshotVersion);
+    w.U32(kSectionCount);
+  }
+  {
+    std::string meta;
+    ByteWriter w(&meta);
+    WriteMeta(inst, w);
+    AppendSection(&out, kMeta, meta);
+  }
+  AppendSection(&out, kVocab, WriteVocab(inst));
+  AppendSection(&out, kUsers, WriteUsers(inst));
+  AppendSection(&out, kTerms, WriteTerms(inst));
+  AppendSection(&out, kTriples, WriteTriples(inst));
+  AppendSection(&out, kDocs, WriteDocs(inst));
+  AppendSection(&out, kComments, WriteComments(inst));
+  AppendSection(&out, kTags, WriteTags(inst));
+  AppendSection(&out, kSocial, WriteSocial(inst));
+  AppendSection(&out, kEdges, WriteEdges(inst));
+  AppendSection(&out, kIndex, WriteIndex(inst));
+  AppendSection(&out, kMatrix, WriteMatrix(inst));
+  AppendSection(&out, kComponents, WriteComponents(inst));
+  AppendSection(&out, kKeywordComps, WriteKeywordComps(inst));
+  return out;
+}
+
+Result<std::shared_ptr<const S3Instance>> LoadBinarySnapshot(
+    std::string_view bytes) {
+  uint32_t version = 0;
+  Frame frames[kSectionCount];
+  S3_RETURN_IF_ERROR(ParseFrames(bytes, /*strict_crc=*/true, &version,
+                                 frames));
+
+  Meta meta;
+  {
+    ByteReader r(frames[kMeta - 1].payload);
+    if (!ReadMeta(r, meta)) {
+      return SectionError(kMeta, "truncated");
+    }
+  }
+  if (meta.n_users >= kMaxEntityCount || meta.n_nodes >= kMaxEntityCount ||
+      meta.n_tags >= kMaxEntityCount || meta.n_docs >= kMaxEntityCount ||
+      meta.n_keywords >= UINT32_MAX || meta.n_terms >= UINT32_MAX ||
+      meta.n_edges >= UINT32_MAX || meta.n_triples >= UINT32_MAX) {
+    return SectionError(kMeta, "implausible population counts");
+  }
+
+  S3Instance::SnapshotPopulation pop;
+  S3Instance::SnapshotDerived der;
+  pop.terms = std::make_shared<rdf::TermDictionary>();
+  pop.rdf = std::make_shared<rdf::TripleStore>();
+
+  {
+    ByteReader r(frames[kVocab - 1].payload);
+    S3_RETURN_IF_ERROR(ReadVocab(r, meta, pop.vocabulary));
+  }
+  {
+    ByteReader r(frames[kUsers - 1].payload);
+    S3_RETURN_IF_ERROR(ReadUsers(r, meta, pop.users));
+  }
+  {
+    ByteReader r(frames[kTerms - 1].payload);
+    S3_RETURN_IF_ERROR(ReadTerms(r, meta, *pop.terms));
+  }
+  {
+    ByteReader r(frames[kTriples - 1].payload);
+    S3_RETURN_IF_ERROR(ReadTriples(r, meta, *pop.terms, *pop.rdf));
+  }
+  {
+    ByteReader r(frames[kDocs - 1].payload);
+    S3_RETURN_IF_ERROR(ReadDocs(r, meta, pop.docs));
+  }
+  {
+    ByteReader r(frames[kComments - 1].payload);
+    S3_RETURN_IF_ERROR(ReadComments(r, meta, pop.comment_target));
+  }
+  {
+    ByteReader r(frames[kTags - 1].payload);
+    S3_RETURN_IF_ERROR(ReadTags(r, meta, pop.tags));
+  }
+  {
+    ByteReader r(frames[kSocial - 1].payload);
+    S3_RETURN_IF_ERROR(ReadSocial(r, meta, pop.explicit_social));
+  }
+  {
+    ByteReader r(frames[kEdges - 1].payload);
+    S3_RETURN_IF_ERROR(ReadEdges(r, meta, pop.edges));
+  }
+  {
+    ByteReader r(frames[kIndex - 1].payload);
+    S3_RETURN_IF_ERROR(ReadIndex(r, meta, der.index));
+  }
+  {
+    ByteReader r(frames[kMatrix - 1].payload);
+    S3_RETURN_IF_ERROR(ReadMatrix(r, meta, der));
+  }
+  {
+    ByteReader r(frames[kComponents - 1].payload);
+    S3_RETURN_IF_ERROR(ReadComponents(r, meta, der.component_forest));
+  }
+  {
+    ByteReader r(frames[kKeywordComps - 1].payload);
+    S3_RETURN_IF_ERROR(ReadKeywordComps(r, meta, der.comps_with_keyword));
+  }
+
+  der.generation = meta.generation;
+  der.lineage = meta.lineage;
+  der.rdf_social_edges = meta.rdf_social_edges;
+  der.saturation_stats = meta.saturation;
+
+  return S3Instance::FromSnapshot(std::move(pop), std::move(der));
+}
+
+Result<SnapshotInfo> InspectBinarySnapshot(std::string_view bytes) {
+  SnapshotInfo info;
+  Frame frames[kSectionCount];
+  S3_RETURN_IF_ERROR(ParseFrames(bytes, /*strict_crc=*/false,
+                                 &info.version, frames));
+  for (uint32_t id = 1; id <= kSectionCount; ++id) {
+    const Frame& f = frames[id - 1];
+    info.sections.push_back(SnapshotSectionInfo{
+        id, SectionName(id), f.size, f.crc, f.crc_ok});
+  }
+  const Frame& meta_frame = frames[kMeta - 1];
+  if (meta_frame.crc_ok) {
+    Meta meta;
+    ByteReader r(meta_frame.payload);
+    if (ReadMeta(r, meta)) {
+      info.generation = meta.generation;
+      info.lineage = meta.lineage;
+      info.rdf_social_edges = meta.rdf_social_edges;
+      info.n_users = meta.n_users;
+      info.n_docs = meta.n_docs;
+      info.n_nodes = meta.n_nodes;
+      info.n_tags = meta.n_tags;
+      info.n_keywords = meta.n_keywords;
+      info.n_edges = meta.n_edges;
+      info.n_terms = meta.n_terms;
+      info.n_triples = meta.n_triples;
+    }
+  }
+  return info;
+}
+
+}  // namespace s3::core

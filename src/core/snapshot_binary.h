@@ -1,0 +1,82 @@
+// Versioned binary snapshot codec for *finalized* S3 instances.
+//
+// Unlike the text codec (core/serialization.h), which saves only the
+// population and pays a full Finalize() — saturation, matrix build,
+// component discovery — on every load, the binary format serializes
+// the derived state too: interned term dictionary, saturated triple
+// store, inverted-index postings, transition-matrix CSR, component
+// union-find forest and the keyword→component directory. Loading goes
+// through S3Instance::FromSnapshot / AttachDerived and skips all of
+// that recomputation; generation and lineage round-trip intact, which
+// is what lets the server's SnapshotManager resume a killed process at
+// its exact pre-crash generation.
+//
+// Framing: an 8-byte magic, a u32 format version and a u32 section
+// count, followed by the sections in fixed ascending-id order. Every
+// section is (u32 id, u64 payload size, u32 CRC-32 of the payload,
+// payload), so corruption — truncation, bit flips, garbage — is
+// detected at the frame level and reported as InvalidArgument with the
+// failing section named, never undefined behaviour. All multi-byte
+// values are little-endian (common/binary_io.h).
+#ifndef S3_CORE_SNAPSHOT_BINARY_H_
+#define S3_CORE_SNAPSHOT_BINARY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/s3_instance.h"
+
+namespace s3::core {
+
+inline constexpr uint32_t kBinarySnapshotVersion = 1;
+
+// True when `bytes` begin with the binary-snapshot magic (cheap format
+// sniffing; says nothing about the rest of the file).
+bool LooksLikeBinarySnapshot(std::string_view bytes);
+
+// Serializes `instance` — population and derived state — into the
+// binary snapshot format. Fails with FailedPrecondition on an
+// unfinalized instance (there is no derived state to save; use the
+// text codec for build-phase dumps).
+Result<std::string> SaveBinarySnapshot(const S3Instance& instance);
+
+// Parses, checksum-verifies and validates a binary snapshot, returning
+// a finalized instance without running Finalize. Any framing or
+// validation failure is InvalidArgument naming the offending section.
+Result<std::shared_ptr<const S3Instance>> LoadBinarySnapshot(
+    std::string_view bytes);
+
+// ---- inspection (tools/s3_snapshot) -----------------------------------
+
+struct SnapshotSectionInfo {
+  uint32_t id = 0;
+  const char* name = "?";
+  uint64_t size = 0;   // payload bytes
+  uint32_t crc = 0;    // stored checksum
+  bool crc_ok = false; // stored checksum matches the payload
+};
+
+struct SnapshotInfo {
+  uint32_t version = 0;
+  // From the META section (zero when META is unreadable).
+  uint64_t generation = 0;
+  uint64_t lineage = 0;
+  uint64_t rdf_social_edges = 0;
+  uint64_t n_users = 0, n_docs = 0, n_nodes = 0, n_tags = 0;
+  uint64_t n_keywords = 0, n_edges = 0, n_terms = 0, n_triples = 0;
+  std::vector<SnapshotSectionInfo> sections;
+};
+
+// Frame-level inspection: header, section table, checksum verification
+// and the META summary — without materializing an instance. Fails only
+// when the header or section framing itself is unreadable; per-section
+// checksum mismatches are reported via `crc_ok`.
+Result<SnapshotInfo> InspectBinarySnapshot(std::string_view bytes);
+
+}  // namespace s3::core
+
+#endif  // S3_CORE_SNAPSHOT_BINARY_H_

@@ -1,0 +1,54 @@
+#include "doc/document_wire.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace s3::doc {
+
+void WriteDocumentTree(const Document& document, ByteWriter& w) {
+  w.U32(static_cast<uint32_t>(document.NodeCount()));
+  for (uint32_t local = 0; local < document.NodeCount(); ++local) {
+    const Node& node = document.node(local);
+    w.U32(node.parent);  // UINT32_MAX for the root
+    w.Str(node.name);
+    w.U32(static_cast<uint32_t>(node.keywords.size()));
+    for (KeywordId k : node.keywords) w.U32(k);
+  }
+}
+
+Result<Document> ReadDocumentTree(ByteReader& r, uint64_t keyword_bound) {
+  auto bad = [](const std::string& why) {
+    return Status::InvalidArgument("document tree: " + why);
+  };
+  const uint32_t n_nodes = r.U32();
+  if (r.failed() || n_nodes == 0 || !r.FitsCount(n_nodes, 12)) {
+    return bad("bad node count");
+  }
+  std::optional<Document> document;
+  for (uint32_t local = 0; local < n_nodes; ++local) {
+    const uint32_t parent = r.U32();
+    std::string name = r.Str();
+    const uint32_t n_kw = r.U32();
+    if (r.failed() || !r.FitsCount(n_kw, 4)) return bad("truncated node");
+    if (local == 0) {
+      if (parent != UINT32_MAX) return bad("root node has a parent");
+      document.emplace(std::move(name));
+    } else {
+      if (parent >= local) return bad("node parent out of range");
+      document->AddChild(parent, std::move(name));
+    }
+    std::vector<KeywordId> kws;
+    kws.reserve(n_kw);
+    for (uint32_t j = 0; j < n_kw; ++j) kws.push_back(r.U32());
+    if (r.failed()) return bad("truncated node keywords");
+    for (KeywordId k : kws) {
+      if (k >= keyword_bound) return bad("keyword id out of range");
+    }
+    document->AddKeywords(local, kws);
+  }
+  return std::move(*document);
+}
+
+}  // namespace s3::doc

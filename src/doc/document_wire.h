@@ -1,0 +1,32 @@
+// Wire codec for one document tree, shared by the two storage-layer
+// producers — the binary snapshot DOCS section (core/snapshot_binary)
+// and the delta WAL document op (core/instance_delta) — so layout and
+// validation can never diverge between them.
+//
+// Layout (little-endian, common/binary_io.h):
+//   u32 node count (>= 1), then per node in local order:
+//     u32 parent local index (UINT32_MAX for the root, node 0)
+//     str name
+//     u32 keyword count, then that many u32 keyword ids
+#ifndef S3_DOC_DOCUMENT_WIRE_H_
+#define S3_DOC_DOCUMENT_WIRE_H_
+
+#include <cstdint>
+
+#include "common/binary_io.h"
+#include "common/status.h"
+#include "doc/document.h"
+
+namespace s3::doc {
+
+void WriteDocumentTree(const Document& document, ByteWriter& w);
+
+// Bounds-checked inverse: rejects a parentless/extra root, forward
+// parent references, keyword ids >= `keyword_bound`, and truncation.
+// Error messages carry no site context — callers wrap them with their
+// section / record position.
+Result<Document> ReadDocumentTree(ByteReader& r, uint64_t keyword_bound);
+
+}  // namespace s3::doc
+
+#endif  // S3_DOC_DOCUMENT_WIRE_H_

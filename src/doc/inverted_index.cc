@@ -45,6 +45,25 @@ std::vector<KeywordId> InvertedIndex::Keywords() const {
   return out;
 }
 
+Status InvertedIndex::AdoptPostings(KeywordId k, std::vector<NodeId> nodes,
+                                    size_t node_count) {
+  if (nodes.empty()) {
+    return Status::InvalidArgument("postings: empty list for keyword " +
+                                   std::to_string(k));
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] >= node_count) {
+      return Status::InvalidArgument("postings: node id out of range");
+    }
+    if (i > 0 && nodes[i] <= nodes[i - 1]) {
+      return Status::InvalidArgument(
+          "postings: list not strictly ascending");
+    }
+  }
+  postings_[k] = std::make_shared<std::vector<NodeId>>(std::move(nodes));
+  return Status::OK();
+}
+
 bool InvertedIndex::SharesPostings(const InvertedIndex& other,
                                    KeywordId k) const {
   auto it = postings_.find(k);

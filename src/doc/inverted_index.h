@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "doc/document_store.h"
 #include "text/vocabulary.h"
 
@@ -51,6 +52,12 @@ class InvertedIndex {
   // True if this index shares keyword k's postings list with `other`
   // (structural-sharing introspection for tests).
   bool SharesPostings(const InvertedIndex& other, KeywordId k) const;
+
+  // Binary-load path: installs one deserialized postings list,
+  // validating the sorted-unique invariant AddNode maintains and the
+  // node-id bound. Discards any previous list for `k`.
+  Status AdoptPostings(KeywordId k, std::vector<NodeId> nodes,
+                       size_t node_count);
 
  private:
   std::unordered_map<KeywordId, std::shared_ptr<std::vector<NodeId>>>

@@ -59,6 +59,54 @@ void ComponentIndex::AssignComponents(const EntityLayout& layout) {
   }
 }
 
+Status ComponentIndex::AdoptForest(const EntityLayout& layout,
+                                   std::vector<uint32_t> forest) {
+  const uint32_t total = layout.total();
+  if (forest.size() != total) {
+    return Status::InvalidArgument("component forest: row count mismatch");
+  }
+  for (uint32_t row = 0; row < total; ++row) {
+    if (forest[row] >= total) {
+      return Status::InvalidArgument(
+          "component forest: parent out of range at row " +
+          std::to_string(row));
+    }
+    // Users never join components, so their rows are always their own
+    // roots in a well-formed snapshot.
+    if (layout.Entity(row).kind() == EntityKind::kUser &&
+        forest[row] != row) {
+      return Status::InvalidArgument(
+          "component forest: user row not a singleton");
+    }
+  }
+  // A parent cycle would hang UnionFind::Find, so corrupt input must be
+  // rejected before adoption. One O(rows) pass: walk each unvisited
+  // chain; meeting this walk's own stamp before a root or a
+  // known-terminating row is a cycle.
+  {
+    std::vector<uint32_t> stamp(total, UINT32_MAX);
+    const uint32_t kDone = total;
+    for (uint32_t row = 0; row < total; ++row) {
+      uint32_t x = row;
+      while (stamp[x] != kDone && forest[x] != x) {
+        if (stamp[x] == row) {
+          return Status::InvalidArgument(
+              "component forest: parent cycle at row " +
+              std::to_string(x));
+        }
+        stamp[x] = row;
+        x = forest[x];
+      }
+      for (x = row; stamp[x] == row; x = forest[x]) stamp[x] = kDone;
+      stamp[x] = kDone;
+    }
+  }
+  layout_ = &layout;
+  uf_parent_ = std::move(forest);
+  AssignComponents(layout);
+  return Status::OK();
+}
+
 void ComponentIndex::Build(const EntityLayout& layout,
                            const EdgeStore& edges,
                            const doc::DocumentStore& docs) {

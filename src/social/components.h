@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "doc/document_store.h"
 #include "social/edge_store.h"
 #include "social/entity.h"
@@ -57,6 +58,21 @@ class ComponentIndex {
   }
 
   size_t ComponentCount() const { return members_.size(); }
+
+  // ---- snapshot (de)serialization hooks --------------------------------
+
+  // The persisted union-find forest is the canonical serialized form:
+  // comp_of_row_/members_ are re-derived from it on adoption by the
+  // same ordered row scan Build runs, so the component-id assignment of
+  // a reloaded snapshot matches the saved instance exactly (path
+  // compression changes parent entries but never roots).
+  const std::vector<uint32_t>& forest() const { return uf_parent_; }
+
+  // Binary-load path: adopts a deserialized forest (size and parent
+  // range validated, user rows must be singletons) and assigns
+  // component ids. `layout` must outlive this index.
+  Status AdoptForest(const EntityLayout& layout,
+                     std::vector<uint32_t> forest);
 
  private:
   // Re-derives comp_of_row_ / members_ from the union-find forest by

@@ -23,6 +23,15 @@ class EntityId {
       : packed_((static_cast<uint32_t>(kind) << 30) | index) {}
 
   static EntityId User(UserId u) { return EntityId(EntityKind::kUser, u); }
+  // Inverse of packed() — the storage layer's serialized form. The
+  // caller must validate the kind bits (packed >> 30 == 3 names no
+  // entity kind) before trusting the result; see EntityId::ValidKind.
+  static EntityId FromPacked(uint32_t packed) {
+    EntityId e;
+    e.packed_ = packed;
+    return e;
+  }
+  static bool ValidKind(uint32_t packed) { return (packed >> 30) <= 2; }
   static EntityId Fragment(uint32_t node) {
     return EntityId(EntityKind::kFragment, node);
   }

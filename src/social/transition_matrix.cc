@@ -77,6 +77,37 @@ void TransitionMatrix::BuildTranspose() {
   }
 }
 
+Status TransitionMatrix::Adopt(std::vector<uint64_t> row_ptr,
+                               std::vector<uint32_t> cols,
+                               std::vector<double> vals,
+                               std::vector<double> denom, size_t n_rows) {
+  auto bad = [](const std::string& why) {
+    return Status::InvalidArgument("transition matrix: " + why);
+  };
+  if (row_ptr.size() != n_rows + 1 || denom.size() != n_rows) {
+    return bad("row count mismatch");
+  }
+  if (row_ptr.front() != 0 || row_ptr.back() != cols.size() ||
+      cols.size() != vals.size()) {
+    return bad("CSR extent mismatch");
+  }
+  for (size_t r = 0; r < n_rows; ++r) {
+    if (row_ptr[r] > row_ptr[r + 1]) return bad("row_ptr not monotone");
+    for (uint64_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      if (cols[i] >= n_rows) return bad("column out of range");
+      if (i > row_ptr[r] && cols[i] <= cols[i - 1]) {
+        return bad("row columns not strictly ascending");
+      }
+    }
+  }
+  row_ptr_ = std::move(row_ptr);
+  cols_ = std::move(cols);
+  vals_ = std::move(vals);
+  denom_ = std::move(denom);
+  BuildTranspose();
+  return Status::OK();
+}
+
 void TransitionMatrix::Build(const EntityLayout& layout,
                              const EdgeStore& edges,
                              const doc::DocumentStore& docs) {

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "doc/document_store.h"
 #include "social/edge_store.h"
@@ -98,6 +99,24 @@ class TransitionMatrix {
   // Entries of one row as (column, value) pairs — for tests and for the
   // naive reference implementation.
   std::vector<std::pair<uint32_t, double>> Row(uint32_t row) const;
+
+  // ---- snapshot (de)serialization hooks --------------------------------
+
+  // Raw CSR views for the binary snapshot writer. The transpose is not
+  // exposed: it is a pure function of the CSR and is rebuilt on Adopt.
+  const std::vector<uint64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<uint32_t>& col_index() const { return cols_; }
+  const std::vector<double>& values() const { return vals_; }
+  const std::vector<double>& denominators() const { return denom_; }
+
+  // Binary-load path: adopts a deserialized CSR wholesale — shape
+  // validation only (monotone row_ptr, in-range strictly-ascending
+  // columns per row, matching array sizes); the float values are
+  // covered by the snapshot's checksum framing — and rebuilds the
+  // transpose. `n_rows` is the entity-row count the matrix must cover.
+  Status Adopt(std::vector<uint64_t> row_ptr, std::vector<uint32_t> cols,
+               std::vector<double> vals, std::vector<double> denom,
+               size_t n_rows);
 
  private:
   // Computes one row (denominator + sorted normalized entries) and

@@ -30,8 +30,15 @@ perf is advisory. Locally:
         --baseline bench/baselines/BENCH_server.json \
         --fresh build/BENCH_server.json
 
-To refresh a baseline after an intentional perf change, overwrite the
-file under bench/baselines/ with the fresh file and commit it.
+To refresh a baseline after an intentional perf change, run with
+--update-baselines: the committed baseline file is rewritten in place
+from the fresh run (fresh records win; baseline-only records are kept,
+so merged multi-binary baselines survive a partial run). The old
+manual flow — overwriting the file by hand — is superseded. Commit the
+rewritten file.
+
+    tools/check_bench_regression.py --fresh build/BENCH_micro.json \
+        --update-baselines
 
 Baselines are machine-relative: numbers from a different host class
 shift uniformly and the ratio check absorbs part of that, but for a
@@ -84,6 +91,38 @@ def format_ns(ns):
     return "%.0fns" % ns
 
 
+def load_records(path):
+    """Returns the raw record list of a BENCH json ([] when absent)."""
+    if not os.path.exists(path):
+        return []
+    with open(path) as f:
+        doc = json.load(f)
+    return [r for r in doc.get("benchmarks", []) if r.get("name")]
+
+
+def update_baselines(baseline_path, fresh_path):
+    """Rewrites `baseline_path` from `fresh_path` (fresh names win)."""
+    if not os.path.exists(fresh_path):
+        print("ERROR: no fresh output at %s" % fresh_path)
+        return 1
+    fresh = load_records(fresh_path)
+    if not fresh:
+        print("ERROR: %s holds no benchmark records" % fresh_path)
+        return 1
+    fresh_names = {r["name"] for r in fresh}
+    kept = [r for r in load_records(baseline_path)
+            if r["name"] not in fresh_names]
+    merged = fresh + kept
+    os.makedirs(os.path.dirname(os.path.abspath(baseline_path)),
+                exist_ok=True)
+    with open(baseline_path, "w") as f:
+        json.dump({"benchmarks": merged}, f, indent=2)
+        f.write("\n")
+    print("rewrote %s: %d record(s) from %s, %d kept from the old "
+          "baseline" % (baseline_path, len(fresh), fresh_path, len(kept)))
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Benchmark regression check against a committed "
@@ -105,7 +144,17 @@ def main():
                              "without it, a vacuous comparison fails "
                              "loudly so renames can't silently disable "
                              "the gate")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="rewrite the baseline file in place from "
+                             "the fresh run instead of comparing: fresh "
+                             "records replace same-named baseline "
+                             "records, baseline-only records are kept "
+                             "(for merged multi-binary files). Exits 0 "
+                             "on success")
     args = parser.parse_args()
+
+    if args.update_baselines:
+        return update_baselines(args.baseline, args.fresh)
 
     if not os.path.exists(args.baseline):
         print("no baseline at %s — nothing to compare (ok)" % args.baseline)
