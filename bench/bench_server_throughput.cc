@@ -59,6 +59,7 @@ struct RunResult {
   double seconds = 0.0;
   eval::LatencySnapshot latency;
   double hit_rate = 0.0;
+  eval::ServiceCounters counters;
 };
 
 RunResult RunTrace(std::shared_ptr<const core::S3Instance> snapshot,
@@ -86,6 +87,7 @@ RunResult RunTrace(std::shared_ptr<const core::S3Instance> snapshot,
   out.seconds = timer.ElapsedSeconds();
   out.latency = service.latency().TakeSnapshot(out.seconds);
   if (cache_on) out.hit_rate = service.cache()->Stats().HitRate();
+  out.counters = service.Stats().Counters();
   if (failed > 0) {
     std::fprintf(stderr, "WARNING: %zu queries failed\n", failed);
   }
@@ -141,6 +143,9 @@ int main() {
       std::snprintf(hit, sizeof(hit), "%.1f%%", r.hit_rate * 100.0);
       table.AddRow({std::to_string(workers), cache_on ? "on" : "off",
                     qps_s, spd, p50, p99, cache_on ? hit : "-"});
+      std::printf("workers=%u cache=%s: %s\n", workers,
+                  cache_on ? "on" : "off",
+                  eval::FormatCounters(r.counters).c_str());
 
       char extra[256];
       std::snprintf(

@@ -109,6 +109,7 @@ Result<doc::DocId> S3Instance::AddDocument(doc::Document document,
   if (!added.ok()) return added.status();
   doc::DocId d = added.value();
   comment_target_.push_back(doc::kInvalidNode);
+  poster_of_.push_back(poster);
   // root S3:postedBy poster (+ inverse).
   edges_.AddWithInverse(EntityId::Fragment(docs_.RootNode(d)),
                         EntityId::User(poster), EdgeLabel::kPostedBy, 1.0);
@@ -288,9 +289,52 @@ Status S3Instance::Finalize() {
     comps->erase(std::unique(comps->begin(), comps->end()), comps->end());
   }
 
+  // 6. Reach partition over the completed edge log.
+  BuildReach(/*first_new_edge=*/0);
+
   finalized_ = true;
   lineage_ = MintLineage();
   return Status::OK();
+}
+
+social::UserId S3Instance::OwnerOfEntity(social::EntityId e) const {
+  switch (e.kind()) {
+    case social::EntityKind::kUser:
+      return e.index();
+    case social::EntityKind::kFragment:
+      return poster_of_[docs_.DocOf(e.index())];
+    case social::EntityKind::kTag:
+      return tags_[e.index()].author;
+  }
+  return UINT32_MAX;
+}
+
+uint32_t S3Instance::ReachRootOfComponent(social::ComponentId c) const {
+  const uint32_t row = components_.Members(c).front();
+  return reach_root_[OwnerOfEntity(layout().Entity(row))];
+}
+
+void S3Instance::BuildReach(uint32_t first_new_edge) {
+  const uint32_t n_users = static_cast<uint32_t>(users_.size());
+  if (first_new_edge == 0 || reach_parent_.size() != n_users) {
+    reach_parent_.resize(n_users);
+    for (uint32_t u = 0; u < n_users; ++u) reach_parent_[u] = u;
+  }
+  auto find = [&](uint32_t u) {
+    while (reach_parent_[u] != u) {
+      reach_parent_[u] = reach_parent_[reach_parent_[u]];  // halving
+      u = reach_parent_[u];
+    }
+    return u;
+  };
+  for (uint32_t idx = first_new_edge; idx < edges_.size(); ++idx) {
+    const social::NetEdge& e = edges_.edge(idx);
+    const uint32_t a = find(OwnerOfEntity(e.source));
+    const uint32_t b = find(OwnerOfEntity(e.target));
+    if (a != b) reach_parent_[b] = a;
+  }
+  reach_root_.resize(n_users);
+  for (uint32_t u = 0; u < n_users; ++u) reach_root_[u] = find(u);
 }
 
 const social::EntityLayout& S3Instance::layout() const {
@@ -480,6 +524,22 @@ Result<std::shared_ptr<const S3Instance>> S3Instance::FromSnapshot(
     if (e.label == EdgeLabel::kCommentsOn) {
       inst->comments_on_[e.target.index()].push_back(e.source.index());
     }
+    if (e.label == EdgeLabel::kPostedBy) {
+      const doc::DocId d = inst->docs_.DocOf(e.source.index());
+      if (inst->docs_.RootNode(d) == e.source.index()) {
+        if (inst->poster_of_.size() <= d) inst->poster_of_.resize(d + 1, UINT32_MAX);
+        inst->poster_of_[d] = e.target.index();
+      }
+    }
+  }
+  // Every document carries a postedBy edge from its root (AddDocument
+  // invariant); the reach partition and the sharding layer rely on the
+  // recovered poster table being total.
+  inst->poster_of_.resize(inst->docs_.DocumentCount(), UINT32_MAX);
+  for (doc::DocId d = 0; d < inst->poster_of_.size(); ++d) {
+    if (inst->poster_of_[d] == UINT32_MAX) {
+      return bad("document " + std::to_string(d) + " has no postedBy edge");
+    }
   }
 
   S3_RETURN_IF_ERROR(inst->AttachDerived(std::move(derived)));
@@ -541,6 +601,10 @@ Status S3Instance::AttachDerived(SnapshotDerived d) {
         std::make_shared<std::vector<social::ComponentId>>(
             std::move(comps));
   }
+
+  // Derived, not serialized: the reach partition is a pure function of
+  // the edge log and rebuilds in one scan (like the matrix transpose).
+  BuildReach(/*first_new_edge=*/0);
 
   saturation_stats_ = d.saturation_stats;
   rdf_social_edges_ = d.rdf_social_edges;
@@ -690,6 +754,10 @@ Status S3Instance::FinalizeIncremental(
     std::sort(comps.begin(), comps.end());
     comps.erase(std::unique(comps.begin(), comps.end()), comps.end());
   }
+
+  // Reach partition: extend the inherited forest with the delta's
+  // owner links only (the user set is fixed, so no remap is needed).
+  BuildReach(first_new_edge);
 
   finalized_ = true;
   return Status::OK();

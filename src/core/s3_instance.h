@@ -265,6 +265,31 @@ class S3Instance {
   uint32_t RowOfFragment(doc::NodeId n) const;
   uint32_t RowOfTag(social::TagId t) const;
 
+  // ---- reach groups ----------------------------------------------------
+  //
+  // Every entity hangs off exactly one *owning* user (a fragment off its
+  // document's poster, a tag off its author); network edges only ever
+  // connect entities whose owners are linked through social /
+  // postedBy / commentsOn / hasSubject / hasAuthor relations. The reach
+  // partition is the union-find closure of those owner links: two
+  // entities can appear on one social path iff their owners share a
+  // reach root. S3k uses it to prune unreachable components from the
+  // termination threshold; the sharding layer (src/shard) uses it as
+  // the unit of placement — a shard holding a seeker's whole reach
+  // group answers that seeker exactly.
+
+  // Poster of document `d` (the S3:postedBy target of its root).
+  social::UserId PosterOfDoc(doc::DocId d) const { return poster_of_[d]; }
+
+  // Owning user of any entity (users own themselves).
+  social::UserId OwnerOfEntity(social::EntityId e) const;
+
+  // Reach-group representative of a user / of a component's owners.
+  // Roots are only comparable within one snapshot: the representative
+  // is an arbitrary member, equal iff the groups are equal.
+  uint32_t ReachRootOfUser(social::UserId u) const { return reach_root_[u]; }
+  uint32_t ReachRootOfComponent(social::ComponentId c) const;
+
  private:
   // Structure-sharing copy used by ApplyDelta: shared_ptr members are
   // shared, copy-on-write stores copy their cheap spines, and the
@@ -298,6 +323,12 @@ class S3Instance {
   // when another generation still shares it (copy-on-write).
   std::vector<social::ComponentId>& CompsWithKeywordSlot(KeywordId k);
 
+  // Rebuilds the reach partition from the full edge log (Finalize,
+  // AttachDerived), or extends the inherited forest with the owner
+  // links of edges >= first_new_edge (FinalizeIncremental; the user
+  // population is fixed, so the forest never grows).
+  void BuildReach(uint32_t first_new_edge);
+
   // population state
   std::vector<User> users_;
   std::vector<Tag> tags_;
@@ -314,6 +345,7 @@ class S3Instance {
   std::unordered_map<doc::NodeId, std::vector<doc::NodeId>> comments_on_;
   std::vector<doc::NodeId> comment_target_;  // per DocId, kInvalidNode if none
   std::vector<ExplicitSocialEdge> explicit_social_;
+  std::vector<social::UserId> poster_of_;  // per DocId
 
   // derived state (Finalize / FinalizeIncremental)
   bool finalized_ = false;
@@ -330,6 +362,11 @@ class S3Instance {
   std::unordered_map<KeywordId,
                      std::shared_ptr<std::vector<social::ComponentId>>>
       comps_with_keyword_;
+  // Reach partition over users: the union-find forest (kept for
+  // incremental extension — deltas never add users, so its size is
+  // fixed) and the flattened per-user root for O(1) immutable lookups.
+  std::vector<uint32_t> reach_parent_;
+  std::vector<uint32_t> reach_root_;
 };
 
 }  // namespace s3::core

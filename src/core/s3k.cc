@@ -87,6 +87,10 @@ Result<CandidatePlan> BuildCandidatePlan(
     if (mask == full_mask) plan.passing.push_back(c);
   }
   std::sort(plan.passing.begin(), plan.passing.end());
+  plan.comp_reach_root.reserve(plan.passing.size());
+  for (ComponentId c : plan.passing) {
+    plan.comp_reach_root.push_back(instance.ReachRootOfComponent(c));
+  }
 
   // ---- 3. Candidate construction per passing component (the paper's
   // GetDocuments, run eagerly; exploration refines only prox).
@@ -192,6 +196,18 @@ Result<std::vector<ResultEntry>> S3kSearcher::SearchWithPlan(
   const social::TransitionMatrix& matrix = instance_.matrix();
   const uint32_t seeker_row = instance_.RowOfUser(query.seeker);
 
+  // Reachability pruning: a passing component whose owners' reach root
+  // differs from the seeker's can never be discovered (its sources can
+  // never gain proximity), so its cap must not hold the termination
+  // threshold up. Plans built by BuildCandidatePlan always carry the
+  // roots; a hand-built plan without them degrades to the conservative
+  // everything-reachable behavior.
+  const bool have_reach = plan.comp_reach_root.size() == plan.passing.size();
+  const uint32_t seeker_root = instance_.ReachRootOfUser(query.seeker);
+  auto slot_reachable = [&](uint32_t slot) {
+    return !have_reach || plan.comp_reach_root[slot] == seeker_root;
+  };
+
   Frontier& frontier = frontier_;
   Frontier& next = next_;
   ResetFrontier(frontier, total_rows);
@@ -202,13 +218,32 @@ Result<std::vector<ResultEntry>> S3kSearcher::SearchWithPlan(
   std::vector<bool> discovered(plan.passing.size(), false);
   size_t n_discovered = 0;
   bool frontier_exhausted = false;
+  double last_threshold = 0.0;
 
   auto make_result = [&](const std::vector<uint32_t>& picked) {
     std::vector<ResultEntry> out;
     out.reserve(picked.size());
+    st.kth_lower = 0.0;
     for (uint32_t ci : picked) {
       out.push_back(
           ResultEntry{engine.node(ci), engine.lower(ci), engine.upper(ci)});
+      st.kth_lower = out.size() == 1
+                         ? engine.lower(ci)
+                         : std::min(st.kth_lower, engine.lower(ci));
+    }
+    // Bound on everything not returned: the remaining alive candidates
+    // plus whatever an undiscovered reachable component could still
+    // hold (the threshold at termination).
+    st.remaining_upper = last_threshold;
+    for (uint32_t ci : engine.ActiveCandidates()) {
+      if (!engine.alive(ci)) continue;
+      bool taken = false;  // picked is tiny (<= k): linear scan
+      for (uint32_t p : picked) {
+        if (p == ci) { taken = true; break; }
+      }
+      if (!taken) {
+        st.remaining_upper = std::max(st.remaining_upper, engine.upper(ci));
+      }
     }
     st.components_discovered = n_discovered;
     st.elapsed_seconds = timer.ElapsedSeconds();
@@ -271,12 +306,13 @@ Result<std::vector<ResultEntry>> S3kSearcher::SearchWithPlan(
     const double tail = frontier_exhausted ? 0.0 : TailBound(gamma, n);
     engine.RefreshBounds(tail, pool_.get());
 
-    // Threshold: best possible score of any undiscovered document.
+    // Threshold: best possible score of any undiscovered document —
+    // over the *reachable* undiscovered components only.
     double threshold = 0.0;
     if (!frontier_exhausted) {
       const double b = UndiscoveredBound(gamma, n);
       for (uint32_t slot : slots_by_cap) {
-        if (!discovered[slot]) {
+        if (!discovered[slot] && slot_reachable(slot)) {
           threshold = comp_cap[slot] *
                       std::pow(std::min(1.0, b),
                                static_cast<double>(n_keywords));
@@ -284,6 +320,7 @@ Result<std::vector<ResultEntry>> S3kSearcher::SearchWithPlan(
         }
       }
     }
+    last_threshold = threshold;
 
     // CleanCandidatesList: drop candidates dominated by a vertical
     // neighbor (sound forever: lower bounds only grow, uppers only

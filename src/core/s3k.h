@@ -74,6 +74,14 @@ struct CandidatePlan {
   // occurs, sorted; per_comp[i] holds the candidates of passing[i].
   std::vector<social::ComponentId> passing;
   std::vector<ComponentCandidates> per_comp;
+  // Reach root of each passing component's owners (parallel to
+  // `passing`): the per-shard / per-seeker score-bound export. A
+  // component whose root differs from the seeker's can never be
+  // discovered (no social path exists), so its cap is excluded from
+  // the termination threshold — and a shard whose components all have
+  // foreign roots reports a zero upper bound to the scatter-gather
+  // merge without running the query.
+  std::vector<uint32_t> comp_reach_root;
   size_t extension_keywords = 0;  // Σ |Ext(k)| over query keywords
 
   size_t n_keywords() const { return keywords.size(); }
@@ -103,6 +111,15 @@ struct SearchStats {
   size_t extension_keywords = 0;  // Σ |Ext(k)| over query keywords
   bool converged = false;         // threshold-based stop reached
   double elapsed_seconds = 0.0;
+  // Score-bound export for distributed merging (src/shard): the
+  // smallest lower bound among the returned entries, and an upper
+  // bound on the score of every document *not* returned (max of the
+  // non-returned candidates' uppers and the undiscovered-component
+  // threshold at termination). A remote merger can drop this
+  // instance's remainder whenever remaining_upper is below the global
+  // k-th lower bound.
+  double kth_lower = 0.0;
+  double remaining_upper = 0.0;
   // All candidate documents of passing components (the candidate
   // universe used by the Fig. 8 quality metrics).
   std::vector<doc::NodeId> candidate_nodes;

@@ -62,4 +62,21 @@ std::string FormatSnapshot(const LatencySnapshot& s) {
   return buf;
 }
 
+std::string FormatCounters(const ServiceCounters& c) {
+  char buf[160];
+  if (c.cache_hits + c.cache_misses == 0) {
+    std::snprintf(buf, sizeof(buf), "rejected=%llu cache=off",
+                  static_cast<unsigned long long>(c.rejected_queue_full));
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "rejected=%llu cache=%llu/%llu (%.1f%% hit)",
+                  static_cast<unsigned long long>(c.rejected_queue_full),
+                  static_cast<unsigned long long>(c.cache_hits),
+                  static_cast<unsigned long long>(c.cache_hits +
+                                                  c.cache_misses),
+                  c.CacheHitRate() * 100.0);
+  }
+  return buf;
+}
+
 }  // namespace s3::eval

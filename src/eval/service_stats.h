@@ -71,6 +71,27 @@ class LatencyRecorder {
 // "n=1200 qps=483.1 p50=1.92ms p90=3.10ms p99=7.45ms".
 std::string FormatSnapshot(const LatencySnapshot& s);
 
+// Operational health counters of a serving endpoint, alongside the
+// latency numbers: admission-control rejections (queue-full
+// Unavailable refusals — load shed, invisible in latency data because
+// the queries never ran) and plan-cache effectiveness. QueryService
+// fills one per Stats() call; benches and operators print it with
+// FormatCounters.
+struct ServiceCounters {
+  uint64_t rejected_queue_full = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+
+  double CacheHitRate() const {
+    const uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+  }
+};
+
+// e.g. "rejected=12 cache=873/1024 (85.3% hit)"; cache part reads
+// "cache=off" when the service runs without one (both counters zero).
+std::string FormatCounters(const ServiceCounters& c);
+
 }  // namespace s3::eval
 
 #endif  // S3_EVAL_SERVICE_STATS_H_

@@ -230,6 +230,11 @@ QueryServiceStats QueryService::Stats() const {
   out.rejected = rejected_.load(std::memory_order_relaxed);
   out.completed = completed_.load(std::memory_order_relaxed);
   out.failed = failed_.load(std::memory_order_relaxed);
+  if (cache_ != nullptr) {
+    const ProximityCacheStats cache = cache_->Stats();
+    out.cache_hits = cache.hits;
+    out.cache_misses = cache.misses;
+  }
   return out;
 }
 

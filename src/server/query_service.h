@@ -87,12 +87,27 @@ struct QueryResponse {
 
 using QueryFuture = std::future<Result<QueryResponse>>;
 
-// Monotonic service counters.
+// Monotonic service counters. `rejected` counts queue-full
+// Unavailable refusals only (load shed); shutdown and validation
+// refusals are not admission-control events. Cache hit/miss totals
+// mirror the proximity cache so operators see them in one place
+// (zero when the cache is disabled).
 struct QueryServiceStats {
-  uint64_t submitted = 0;  // admitted into the queue
-  uint64_t rejected = 0;   // refused by admission control
-  uint64_t completed = 0;  // promise fulfilled with a result
-  uint64_t failed = 0;     // promise fulfilled with an error status
+  uint64_t submitted = 0;    // admitted into the queue
+  uint64_t rejected = 0;     // queue-full Unavailable refusals
+  uint64_t completed = 0;    // promise fulfilled with a result
+  uint64_t failed = 0;       // promise fulfilled with an error status
+  uint64_t cache_hits = 0;   // plan served from the proximity cache
+  uint64_t cache_misses = 0; // plan built (cache enabled but cold)
+
+  // The operational-health view (eval::FormatCounters renders it).
+  eval::ServiceCounters Counters() const {
+    eval::ServiceCounters c;
+    c.rejected_queue_full = rejected;
+    c.cache_hits = cache_hits;
+    c.cache_misses = cache_misses;
+    return c;
+  }
 };
 
 class QueryService {

@@ -1,0 +1,134 @@
+// Population partitioner: splits one finalized S3Instance into N
+// self-contained shard instances that together serve the same queries
+// bit-for-bit (src/server/SHARDING.md).
+//
+// Placement unit: the *reach group* (S3Instance::ReachRootOfUser) — the
+// weakly-connected component of the entity graph projected onto owning
+// users. Every user has a deterministic *home shard* (endian-stable
+// FNV-1a of the user id, mod N); a group is materialized on the home
+// shard of each of its members. A social edge whose endpoints hash to
+// different homes is a *boundary edge*: it (and, transitively, the
+// whole group) is replicated into both homes, so each shard holds the
+// complete social neighborhood of every seeker it is the home of —
+// which is exactly what makes per-shard scores equal to the unsharded
+// ones (no path is ever cut; proximity mass is never split).
+//
+// Id spaces: users and keywords are replicated into every shard in
+// global id order, so UserId / KeywordId are shard-invariant (queries
+// route without translation; deltas stay aligned). Documents, nodes
+// and tags are shard-local and dense; a ShardMap records the
+// order-preserving (hence monotone) local <-> global correspondence.
+//
+// Determinism: the same population and shard count produce the same
+// assignment on every platform — the hash reads explicit little-endian
+// bytes, the replay walks the instance's edge log in insertion order,
+// and no pointer- or hash-map-iteration order leaks into any output.
+#ifndef S3_SHARD_PARTITIONER_H_
+#define S3_SHARD_PARTITIONER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/s3_instance.h"
+
+namespace s3::shard {
+
+// FNV-1a 64 over the four little-endian bytes of the user id:
+// platform- and endian-stable by construction (bytes are extracted by
+// shifts, never by memcpy). Golden values are pinned in
+// tests/shard_test.cc.
+uint64_t StableUserHash(social::UserId u);
+
+// Home shard of a user: StableUserHash(u) % shard_count.
+uint32_t ShardOfUser(social::UserId u, uint32_t shard_count);
+
+struct PartitionOptions {
+  // 1..64 shards (group materialization sets are u64 bitmasks).
+  uint32_t shard_count = 1;
+};
+
+// Order-preserving local <-> global id maps for one shard's documents,
+// nodes and tags. All arrays are ascending (the replay keeps global
+// order), so lookups are binary searches and the map stays valid —
+// append-only — across live updates.
+class ShardMap {
+ public:
+  void AddDoc(doc::DocId global_doc, doc::NodeId global_node_base,
+              uint32_t n_nodes);
+  void AddTag(social::TagId global_tag);
+
+  size_t doc_count() const { return doc_global_.size(); }
+  size_t tag_count() const { return tag_global_.size(); }
+  size_t node_count() const { return node_base_local_.empty()
+                                  ? 0
+                                  : node_base_local_.back() +
+                                        node_count_.back(); }
+
+  doc::DocId GlobalDoc(doc::DocId local) const { return doc_global_[local]; }
+  social::TagId GlobalTag(social::TagId local) const {
+    return tag_global_[local];
+  }
+  doc::NodeId GlobalNodeBase(doc::DocId local) const {
+    return node_base_global_[local];
+  }
+  uint32_t NodeCount(doc::DocId local) const { return node_count_[local]; }
+
+  // Local node -> global node (and back). Lookup failures mean the
+  // entity is not materialized on this shard — or, for GlobalNode, that
+  // the local id lies beyond the mapped range (a shard generation the
+  // map does not cover yet): an error, never a silent mis-translation.
+  Result<doc::NodeId> GlobalNode(doc::NodeId local) const;
+  Result<doc::DocId> LocalDoc(doc::DocId global) const;
+  Result<doc::NodeId> LocalNode(doc::NodeId global) const;
+  Result<social::TagId> LocalTag(social::TagId global) const;
+
+  const std::vector<doc::DocId>& doc_global() const { return doc_global_; }
+  const std::vector<social::TagId>& tag_global() const { return tag_global_; }
+
+ private:
+  std::vector<doc::DocId> doc_global_;        // per local doc, ascending
+  std::vector<doc::NodeId> node_base_global_; // global id of local node 0
+  std::vector<uint32_t> node_count_;
+  std::vector<doc::NodeId> node_base_local_;  // cumulative sum, ascending
+  std::vector<social::TagId> tag_global_;     // ascending
+};
+
+// One shard of a partition.
+struct ShardPart {
+  uint32_t index = 0;
+  std::shared_ptr<const core::S3Instance> instance;
+  ShardMap map;
+  // Social edges kept on this shard whose endpoints have different
+  // home shards (each is counted on every shard that materialized it).
+  uint64_t boundary_social_edges = 0;
+  uint32_t owned_users = 0;        // users whose home shard this is
+  uint64_t materialized_groups = 0;
+};
+
+struct PartitionResult {
+  uint32_t shard_count = 0;
+  // Reach root per user, copied from the source instance (the
+  // router's initial group table).
+  std::vector<uint32_t> user_root;
+  std::vector<ShardPart> shards;
+  // Distinct social edges with cross-home endpoints (population-wide).
+  uint64_t boundary_social_edges = 0;
+
+  // Global population tables the router needs for delta routing.
+  std::vector<social::UserId> doc_owner;      // poster per global doc
+  std::vector<doc::NodeId> doc_node_base;     // first node per global doc
+  std::vector<social::UserId> tag_owner;      // author per global tag
+  uint64_t n_nodes = 0;
+  uint64_t n_vocab = 0;
+};
+
+// Splits `full` (finalized) into shard_count instances. Fails with
+// InvalidArgument on a bad shard count or an unfinalized instance.
+Result<PartitionResult> Partition(const core::S3Instance& full,
+                                  const PartitionOptions& options);
+
+}  // namespace s3::shard
+
+#endif  // S3_SHARD_PARTITIONER_H_

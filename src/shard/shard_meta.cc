@@ -1,0 +1,205 @@
+#include "shard/shard_meta.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/file_io.h"
+#include "common/str_util.h"
+#include "server/snapshot_manager.h"
+
+namespace s3::shard {
+
+namespace fs = std::filesystem;
+
+std::string EncodeShardMeta(const ShardMetaData& meta) {
+  std::string out = "S3SHARD v1\n";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "shard %u %u\n", meta.shard_index,
+                meta.shard_count);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "boundary %" PRIu64 "\n",
+                meta.boundary_social_edges);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "owned_users %u\n", meta.owned_users);
+  out += buf;
+  for (doc::DocId d = 0; d < meta.map.doc_count(); ++d) {
+    std::snprintf(buf, sizeof(buf), "D %u %u %u\n", meta.map.GlobalDoc(d),
+                  meta.map.GlobalNodeBase(d), meta.map.NodeCount(d));
+    out += buf;
+  }
+  for (social::TagId t = 0; t < meta.map.tag_count(); ++t) {
+    std::snprintf(buf, sizeof(buf), "T %u\n", meta.map.GlobalTag(t));
+    out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+Status Bad(const char* which, const std::string& why) {
+  return Status::InvalidArgument(std::string(which) + ": " + why);
+}
+
+// Splits `text` into whitespace-token lines, skipping blanks/comments.
+std::vector<std::vector<std::string>> Lines(std::string_view text) {
+  std::vector<std::vector<std::string>> out;
+  for (const std::string& line : Split(text, "\n")) {
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> toks = Split(line, " \t\r");
+    if (!toks.empty()) out.push_back(std::move(toks));
+  }
+  return out;
+}
+
+// Strict decimal parse (overflow is a parse error, not a wrap).
+Result<uint64_t> U64(const std::string& tok) {
+  uint64_t v = 0;
+  if (!ParseU64(tok, &v)) {
+    return Status::InvalidArgument("not a number: " + tok);
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<ShardMetaData> ParseShardMeta(std::string_view text) {
+  auto lines = Lines(text);
+  if (lines.empty() || lines[0].size() != 2 || lines[0][0] != "S3SHARD" ||
+      lines[0][1] != "v1") {
+    return Bad("shard.meta", "missing S3SHARD v1 header");
+  }
+  ShardMetaData meta;
+  bool have_shard = false;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const auto& t = lines[i];
+    if (t[0] == "shard" && t.size() == 3) {
+      auto a = U64(t[1]), b = U64(t[2]);
+      if (!a.ok() || !b.ok()) return Bad("shard.meta", "bad shard line");
+      meta.shard_index = static_cast<uint32_t>(*a);
+      meta.shard_count = static_cast<uint32_t>(*b);
+      have_shard = true;
+    } else if (t[0] == "boundary" && t.size() == 2) {
+      auto v = U64(t[1]);
+      if (!v.ok()) return Bad("shard.meta", "bad boundary line");
+      meta.boundary_social_edges = *v;
+    } else if (t[0] == "owned_users" && t.size() == 2) {
+      auto v = U64(t[1]);
+      if (!v.ok()) return Bad("shard.meta", "bad owned_users line");
+      meta.owned_users = static_cast<uint32_t>(*v);
+    } else if (t[0] == "D" && t.size() == 4) {
+      auto g = U64(t[1]), base = U64(t[2]), n = U64(t[3]);
+      if (!g.ok() || !base.ok() || !n.ok() || *n == 0) {
+        return Bad("shard.meta", "bad D line");
+      }
+      if (meta.map.doc_count() > 0 &&
+          *g <= meta.map.GlobalDoc(
+                    static_cast<doc::DocId>(meta.map.doc_count() - 1))) {
+        return Bad("shard.meta", "D lines not ascending");
+      }
+      meta.map.AddDoc(static_cast<doc::DocId>(*g),
+                      static_cast<doc::NodeId>(*base),
+                      static_cast<uint32_t>(*n));
+    } else if (t[0] == "T" && t.size() == 2) {
+      auto g = U64(t[1]);
+      if (!g.ok()) return Bad("shard.meta", "bad T line");
+      if (meta.map.tag_count() > 0 &&
+          *g <= meta.map.GlobalTag(
+                    static_cast<social::TagId>(meta.map.tag_count() - 1))) {
+        return Bad("shard.meta", "T lines not ascending");
+      }
+      meta.map.AddTag(static_cast<social::TagId>(*g));
+    } else {
+      return Bad("shard.meta", "unknown line '" + t[0] + "'");
+    }
+  }
+  if (!have_shard || meta.shard_count == 0 ||
+      meta.shard_index >= meta.shard_count) {
+    return Bad("shard.meta", "missing or inconsistent shard line");
+  }
+  return meta;
+}
+
+std::string EncodePartitionMeta(const PartitionMetaData& meta) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "S3PART v1\nshards %u\nboundary %" PRIu64 "\n",
+                meta.shard_count, meta.boundary_social_edges);
+  return buf;
+}
+
+Result<PartitionMetaData> ParsePartitionMeta(std::string_view text) {
+  auto lines = Lines(text);
+  if (lines.empty() || lines[0].size() != 2 || lines[0][0] != "S3PART" ||
+      lines[0][1] != "v1") {
+    return Bad("partition.meta", "missing S3PART v1 header");
+  }
+  PartitionMetaData meta;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const auto& t = lines[i];
+    if (t[0] == "shards" && t.size() == 2) {
+      auto v = U64(t[1]);
+      if (!v.ok()) return Bad("partition.meta", "bad shards line");
+      meta.shard_count = static_cast<uint32_t>(*v);
+    } else if (t[0] == "boundary" && t.size() == 2) {
+      auto v = U64(t[1]);
+      if (!v.ok()) return Bad("partition.meta", "bad boundary line");
+      meta.boundary_social_edges = *v;
+    } else {
+      return Bad("partition.meta", "unknown line '" + t[0] + "'");
+    }
+  }
+  if (meta.shard_count == 0 || meta.shard_count > 64) {
+    return Bad("partition.meta", "shard count out of range");
+  }
+  return meta;
+}
+
+std::string ShardDirName(const std::string& root, uint32_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/shard-%03u", index);
+  return root + buf;
+}
+
+Status WritePartition(const PartitionResult& partition,
+                      const std::string& root) {
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) {
+    return Status::Internal("cannot create " + root + ": " + ec.message());
+  }
+  if (fs::exists(root + "/" + kPartitionMetaFile)) {
+    return Status::FailedPrecondition(
+        root + " already holds a partition (found " +
+        std::string(kPartitionMetaFile) + ")");
+  }
+
+  for (const ShardPart& part : partition.shards) {
+    server::SnapshotManagerOptions opts;
+    opts.dir = ShardDirName(root, part.index);
+    opts.background_checkpoints = false;
+    auto manager = server::SnapshotManager::Open(opts);
+    if (!manager.ok()) return manager.status();
+    if ((*manager)->has_state()) {
+      return Status::FailedPrecondition(opts.dir +
+                                        " already holds serving state");
+    }
+    S3_RETURN_IF_ERROR((*manager)->Initialize(part.instance));
+
+    ShardMetaData meta;
+    meta.shard_index = part.index;
+    meta.shard_count = partition.shard_count;
+    meta.boundary_social_edges = part.boundary_social_edges;
+    meta.owned_users = part.owned_users;
+    meta.map = part.map;
+    S3_RETURN_IF_ERROR(WriteFileAtomic(opts.dir + "/" + kShardMetaFile,
+                                       EncodeShardMeta(meta)));
+  }
+
+  PartitionMetaData meta;
+  meta.shard_count = partition.shard_count;
+  meta.boundary_social_edges = partition.boundary_social_edges;
+  return WriteFileAtomic(root + "/" + kPartitionMetaFile,
+                         EncodePartitionMeta(meta));
+}
+
+}  // namespace s3::shard

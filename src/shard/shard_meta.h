@@ -1,0 +1,75 @@
+// Durable metadata of a sharded deployment.
+//
+// A sharded deployment on disk is a root directory of per-shard
+// storage directories (each one a normal SnapshotManager directory —
+// binary snapshot + delta WAL) plus two small text files:
+//
+//   <root>/partition.meta        shard count + partition-wide stats
+//   <root>/shard-NNN/shard.meta  shard index, boundary-edge count and
+//                                the local<->global id map (one D line
+//                                per document, one T line per tag, in
+//                                local id order)
+//
+// shard.meta is rewritten (atomically) by the router after every
+// applied update, so the maps always describe the serving state the
+// WAL recovers to. The user->group table is NOT persisted: it is a
+// pure function of the shard populations and is re-derived on Open by
+// unioning the shards' reach partitions.
+//
+// Line format (all integers decimal, '#' starts a comment):
+//   S3SHARD v1
+//   shard <index> <count>
+//   boundary <social edges with cross-home endpoints>
+//   owned_users <n>
+//   D <global doc> <global first node> <node count>
+//   T <global tag>
+//
+//   S3PART v1
+//   shards <count>
+//   boundary <population-wide cross-home social edges>
+#ifndef S3_SHARD_SHARD_META_H_
+#define S3_SHARD_SHARD_META_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "shard/partitioner.h"
+
+namespace s3::shard {
+
+inline constexpr char kShardMetaFile[] = "shard.meta";
+inline constexpr char kPartitionMetaFile[] = "partition.meta";
+
+struct ShardMetaData {
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 0;
+  uint64_t boundary_social_edges = 0;
+  uint32_t owned_users = 0;
+  ShardMap map;
+};
+
+struct PartitionMetaData {
+  uint32_t shard_count = 0;
+  uint64_t boundary_social_edges = 0;
+};
+
+std::string EncodeShardMeta(const ShardMetaData& meta);
+Result<ShardMetaData> ParseShardMeta(std::string_view text);
+
+std::string EncodePartitionMeta(const PartitionMetaData& meta);
+Result<PartitionMetaData> ParsePartitionMeta(std::string_view text);
+
+// <root>/shard-NNN
+std::string ShardDirName(const std::string& root, uint32_t index);
+
+// Materializes a partition as a storage deployment: creates the root,
+// initializes one SnapshotManager directory per shard (binary
+// snapshot of the shard instance at its current generation) and writes
+// both meta files. The root must not already contain a deployment.
+Status WritePartition(const PartitionResult& partition,
+                      const std::string& root);
+
+}  // namespace s3::shard
+
+#endif  // S3_SHARD_SHARD_META_H_

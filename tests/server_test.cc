@@ -263,6 +263,47 @@ TEST(QueryServiceTest, AdmissionControlAccountsEverySubmission) {
   EXPECT_EQ(stats.submitted + stats.rejected, queries.size());
   EXPECT_EQ(stats.completed, futures.size());
   EXPECT_EQ(stats.failed, 0u);
+
+  // The queue-full refusals are visible to operators, not just as
+  // Unavailable statuses on the submit path.
+  eval::ServiceCounters counters = stats.Counters();
+  EXPECT_EQ(counters.rejected_queue_full, rejected);
+  EXPECT_NE(eval::FormatCounters(counters).find("rejected="),
+            std::string::npos);
+}
+
+TEST(QueryServiceTest, StatsSurfaceCacheHitsAndMisses) {
+  std::vector<KeywordId> kws;
+  auto snap = MakeSnapshot(17, &kws);
+  QueryServiceOptions opts;
+  opts.workers = 1;
+  opts.search = TestOptions();
+  QueryService service(snap, opts);
+
+  Query q;
+  q.seeker = 0;
+  q.keywords = {kws[0]};
+  for (int round = 0; round < 3; ++round) {
+    auto fut = service.Submit(q);
+    ASSERT_TRUE(fut.ok());
+    ASSERT_TRUE(fut->get().ok());
+  }
+  QueryServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_DOUBLE_EQ(stats.Counters().CacheHitRate(), 2.0 / 3.0);
+
+  // Cache disabled: the counters stay zero and the rendering says so.
+  opts.enable_cache = false;
+  QueryService uncached(snap, opts);
+  auto fut = uncached.Submit(q);
+  ASSERT_TRUE(fut.ok());
+  ASSERT_TRUE(fut->get().ok());
+  QueryServiceStats cold = uncached.Stats();
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_misses, 0u);
+  EXPECT_NE(eval::FormatCounters(cold.Counters()).find("cache=off"),
+            std::string::npos);
 }
 
 TEST(QueryServiceTest, KeywordPermutationsShareOnePlan) {

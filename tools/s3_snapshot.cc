@@ -27,10 +27,38 @@
 #include "core/snapshot.h"
 #include "core/snapshot_binary.h"
 #include "server/snapshot_manager.h"
+#include "shard/shard_meta.h"
 
 namespace {
 
 using s3::core::SnapshotFormat;
+
+// When the inspected file sits inside a shard storage directory
+// (tools/s3_shard split output), report the shard's place in its
+// partition. Pre-shard snapshots have no shard.meta sibling and print
+// nothing — inspect degrades gracefully.
+void PrintShardMetaIfPresent(const std::string& snapshot_path) {
+  std::string dir = ".";
+  const size_t slash = snapshot_path.find_last_of('/');
+  if (slash != std::string::npos) dir = snapshot_path.substr(0, slash);
+  std::string bytes;
+  if (!s3::ReadFileToString(dir + "/" + s3::shard::kShardMetaFile, &bytes)
+           .ok()) {
+    return;  // not a shard directory
+  }
+  auto meta = s3::shard::ParseShardMeta(bytes);
+  if (!meta.ok()) {
+    std::printf("shard metadata: present but unreadable (%s)\n",
+                meta.status().ToString().c_str());
+    return;
+  }
+  std::printf(
+      "shard metadata: shard %u of %u, %llu boundary social edges, "
+      "%u owned users, %zu local docs, %zu local tags\n",
+      meta->shard_index, meta->shard_count,
+      static_cast<unsigned long long>(meta->boundary_social_edges),
+      meta->owned_users, meta->map.doc_count(), meta->map.tag_count());
+}
 
 int Usage() {
   std::fprintf(stderr,
@@ -64,6 +92,7 @@ int Inspect(const std::string& path) {
         "population-only dump; load pays Finalize(). Convert with\n"
         "  s3_snapshot convert %s <out> --to=binary\n",
         path.c_str());
+    PrintShardMetaIfPresent(path);
     return 0;
   }
 
@@ -104,6 +133,7 @@ int Inspect(const std::string& path) {
     std::printf("CORRUPT: at least one section failed its checksum\n");
     return 1;
   }
+  PrintShardMetaIfPresent(path);
   return 0;
 }
 
