@@ -141,6 +141,49 @@ void BM_S3kQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_S3kQuery)->Arg(5)->Arg(10)->Arg(20);
 
+// The batched hot path: 8 same-plan queries per iteration (the lcm of
+// the swept widths, so ns/op is directly comparable across batch
+// sizes), answered in ceil(8/batch) SearchBatchWithPlan passes. batch=1
+// is the single-seeker engine run through the batch API — the
+// amortization baseline; batch>=4 is where the shared candidate build
+// and the one-CSR-walk-per-iteration lane streaming pay off.
+void BM_S3kQueryBatched(benchmark::State& state) {
+  auto& bi = SharedInstance();
+  core::S3kOptions opts;
+  opts.k = static_cast<size_t>(state.range(0));
+  const size_t width = static_cast<size_t>(state.range(1));
+  core::S3kSearcher searcher(*bi.gen.instance, opts);
+  // One shared plan, exactly like the server's batch drain: a batch is
+  // always same-keyword-multiset queries differing only in seeker.
+  const auto& q0 = bi.qs.queries[0];
+  auto plan = core::BuildCandidatePlan(*bi.gen.instance, q0.keywords,
+                                       opts.use_semantics, opts.score.eta);
+  if (!plan.ok()) {
+    state.SkipWithError("plan build failed");
+    return;
+  }
+  constexpr size_t kQueriesPerIter = 8;
+  const size_t n = bi.qs.queries.size();
+  std::vector<core::BatchSeeker> batch(width);
+  size_t i = 0;
+  for (auto _ : state) {
+    for (size_t done = 0; done < kQueriesPerIter; done += width) {
+      for (size_t s = 0; s < width; ++s) {
+        batch[s].seeker = bi.qs.queries[i++ % n].seeker;
+      }
+      auto r = searcher.SearchBatchWithPlan(batch, *plan);
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * kQueriesPerIter));
+}
+BENCHMARK(BM_S3kQueryBatched)
+    ->ArgNames({"k", "batch"})
+    ->Args({20, 1})
+    ->Args({20, 4})
+    ->Args({20, 8});
+
 }  // namespace
 
 int main(int argc, char** argv) {

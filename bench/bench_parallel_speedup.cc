@@ -1,6 +1,9 @@
 // §5.2 claim: the parallelized search reduced query answering time by
 // about 2x with 8 concurrent threads. This harness sweeps the worker
-// count on the I1 common-keyword workload.
+// count on the I1 common-keyword workload and merges one
+// BM_ParallelSpeedup record per thread count (ns/op + speedup vs the
+// single-thread run) into BENCH_micro.json, so the CI baseline compare
+// covers intra-query scaling alongside the microbenchmarks.
 #include "bench_util.h"
 
 using namespace s3;
@@ -18,6 +21,7 @@ int main() {
   auto qs =
       workload::BuildWorkload(*gen.instance, gen.semantic_anchors, spec);
 
+  bench::BenchJsonWriter writer("BENCH_micro.json", /*merge=*/true);
   eval::TablePrinter table({"threads", "median (ms)", "speed-up"});
   double base_median = 0.0;
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
@@ -27,11 +31,16 @@ int main() {
     if (series.empty()) continue;
     double median = series.MedianSeconds();
     if (threads == 1) base_median = median;
+    const double speedup_x = median > 0 ? base_median / median : 0.0;
     char speedup[32];
-    std::snprintf(speedup, sizeof(speedup), "%.2fx",
-                  median > 0 ? base_median / median : 0.0);
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", speedup_x);
     table.AddRow({std::to_string(threads), eval::FormatMillis(median),
                   speedup});
+    char extra[96];
+    std::snprintf(extra, sizeof(extra),
+                  "\"threads\": %u, \"speedup\": %.3f", threads, speedup_x);
+    writer.Add("BM_ParallelSpeedup/threads=" + std::to_string(threads),
+               median * 1e9, extra);
   }
   std::printf("%s\n", table.Render().c_str());
   std::printf("paper: ~2x with 8 threads (on a 4-core machine).\n");

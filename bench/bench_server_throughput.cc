@@ -64,12 +64,13 @@ struct RunResult {
 
 RunResult RunTrace(std::shared_ptr<const core::S3Instance> snapshot,
                    const std::vector<core::Query>& trace, unsigned workers,
-                   bool cache_on, size_t k) {
+                   bool cache_on, size_t k, size_t batch_window = 0) {
   server::QueryServiceOptions opts;
   opts.workers = workers;
   opts.queue_capacity = 64;
   opts.enable_cache = cache_on;
   opts.search.k = k;
+  opts.batch_window = batch_window;
   server::QueryService service(snapshot, opts);
 
   WallTimer timer;
@@ -165,5 +166,29 @@ int main() {
       "expected shape: QPS scales with workers up to the core count; "
       "cache:on wins\non the repeated common-keyword trace (hit rate "
       "-> (1 - distinct/trace) at steady state).\n");
+
+  // Batched execution: same hot trace through a batching service
+  // (workers deliberately few, so the queue backs up and same-plan
+  // runs form). The counter line now carries batched=N/M (width avg);
+  // the BENCH record tracks the amortization across PRs.
+  std::printf("\n== batched execution (batch_window sweep, cache on) ==\n");
+  for (size_t window : {4u, 8u}) {
+    RunResult r = RunTrace(snapshot, trace, /*workers=*/2,
+                           /*cache_on=*/true, 10, window);
+    std::printf("batch_window=%zu: qps=%.1f %s\n", window, r.latency.qps,
+                eval::FormatCounters(r.counters).c_str());
+    char extra[256];
+    std::snprintf(extra, sizeof(extra),
+                  "\"batch_window\": %zu, \"qps\": %.1f, "
+                  "\"batched_queries\": %llu, \"batches\": %llu, "
+                  "\"mean_width\": %.2f",
+                  window, r.latency.qps,
+                  static_cast<unsigned long long>(r.counters.batched_queries),
+                  static_cast<unsigned long long>(
+                      r.counters.batches_executed),
+                  r.counters.MeanBatchWidth());
+    json.Add("server_throughput/batch_window:" + std::to_string(window),
+             r.seconds * 1e9 / trace.size(), extra);
+  }
   return 0;
 }

@@ -1,15 +1,55 @@
 #include "core/bound_engine.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <unordered_map>
 
+#include "social/transition_matrix.h"  // kMaxFrontierLanes
+
 namespace s3::core {
+
+namespace {
+
+// L-lane reverse-index fold: one CSR-entry walk streams every lane
+// (kw[sums[i]*L + l] += w_i * d[l]). Per lane this is exactly the
+// scalar ApplyDelta sequence — entry order i is lane-independent — so
+// batched partial sums stay bit-for-bit the single-seeker sums.
+template <int L>
+void FoldRevT(const uint32_t* sums, const float* ws, size_t n,
+              const double* __restrict d, double* __restrict kw) {
+  for (size_t i = 0; i < n; ++i) {
+    double* __restrict o = kw + static_cast<size_t>(sums[i]) * L;
+    const double w = static_cast<double>(ws[i]);
+    for (int l = 0; l < L; ++l) o[l] += w * d[l];
+  }
+}
+
+void FoldRev(size_t lanes, const uint32_t* sums, const float* ws, size_t n,
+             const double* d, double* kw) {
+  switch (lanes) {
+    case 1: return FoldRevT<1>(sums, ws, n, d, kw);
+    case 2: return FoldRevT<2>(sums, ws, n, d, kw);
+    case 4: return FoldRevT<4>(sums, ws, n, d, kw);
+    case 8: return FoldRevT<8>(sums, ws, n, d, kw);
+    default:
+      for (size_t i = 0; i < n; ++i) {
+        double* o = kw + static_cast<size_t>(sums[i]) * lanes;
+        const double w = static_cast<double>(ws[i]);
+        for (size_t c = 0; c + 4 <= lanes; c += 4) {
+          for (int l = 0; l < 4; ++l) o[c + l] += w * d[c + l];
+        }
+      }
+  }
+}
+
+}  // namespace
 
 CandidateBoundEngine::CandidateBoundEngine(
     const doc::DocumentStore& docs, size_t n_keywords, uint32_t total_rows,
-    const std::vector<ComponentCandidates>& per_comp)
-    : n_keywords_(n_keywords) {
+    const std::vector<ComponentCandidates>& per_comp, size_t lanes)
+    : n_keywords_(n_keywords), lanes_(lanes) {
+  assert(lanes_ >= 1 && lanes_ <= social::kMaxFrontierLanes);
   size_t n_cands = 0;
   size_t n_entries = 0;
   for (const ComponentCandidates& cc : per_comp) {
@@ -21,11 +61,11 @@ CandidateBoundEngine::CandidateBoundEngine(
 
   node_.reserve(n_cands);
   comp_slot_.reserve(n_cands);
-  alive_.assign(n_cands, 1);
-  kw_sum_.assign(n_cands * n_keywords_, 0.0);
+  alive_.assign(n_cands * lanes_, 1);
+  kw_sum_.assign(n_cands * n_keywords_ * lanes_, 0.0);
   kw_w_.reserve(n_cands * n_keywords_);
-  lower_.assign(n_cands, 0.0);
-  upper_.assign(n_cands, 0.0);
+  lower_.assign(n_cands * lanes_, 0.0);
+  upper_.assign(n_cands * lanes_, 0.0);
   slot_cands_.resize(per_comp.size());
   src_begin_.reserve(n_cands * n_keywords_ + 1);
   src_begin_.push_back(0);
@@ -104,39 +144,65 @@ CandidateBoundEngine::CandidateBoundEngine(
     nbr_list_.insert(nbr_list_.end(), nbrs[ci].begin(), nbrs[ci].end());
   }
 
-  active_.assign(n_cands, 0);
-  active_list_.reserve(n_cands);
+  active_.assign(n_cands * lanes_, 0);
+  active_lists_.resize(lanes_);
+  for (auto& list : active_lists_) list.reserve(n_cands);
+  union_active_.assign(n_cands, 0);
+  union_list_.reserve(n_cands);
   mark_.assign(n_cands, 0);
 }
 
-void CandidateBoundEngine::ActivateSlot(uint32_t slot) {
+void CandidateBoundEngine::ActivateSlot(uint32_t slot, size_t lane) {
   for (uint32_t ci : slot_cands_[slot]) {
-    if (!active_[ci]) {
-      active_[ci] = 1;
-      active_list_.push_back(ci);
+    if (!active_[ci * lanes_ + lane]) {
+      active_[ci * lanes_ + lane] = 1;
+      active_lists_[lane].push_back(ci);
+      if (!union_active_[ci]) {
+        union_active_[ci] = 1;
+        union_list_.push_back(ci);
+      }
     }
   }
 }
 
-void CandidateBoundEngine::RefreshBounds(double tail, ThreadPool* pool) {
+void CandidateBoundEngine::ApplyDeltaBatch(uint32_t row,
+                                           const double* deltas) {
+  const uint64_t begin = rev_ptr_[row];
+  FoldRev(lanes_, rev_sum_.data() + begin, rev_w_.data() + begin,
+          rev_ptr_[row + 1] - begin, deltas, kw_sum_.data());
+}
+
+void CandidateBoundEngine::RefreshBoundsBatch(const double* tails,
+                                              ThreadPool* pool) {
+  const size_t L = lanes_;
   auto refresh = [&](size_t i) {
-    const uint32_t ci = active_list_[i];
-    if (!alive_[ci]) return;
-    const size_t base = ci * n_keywords_;
-    double lo = 1.0, up = 1.0;
-    for (size_t qi = 0; qi < n_keywords_; ++qi) {
-      const double s = kw_sum_[base + qi];
-      const double w = kw_w_[base + qi];
-      lo *= s;
-      // W caps the sum (prox ≤ 1 per source); max(s, ·) shields the
-      // interval against prox marginally overshooting 1 in floating
-      // point, which would otherwise let upper dip below lower.
-      up *= std::max(s, std::min(w, s + w * tail));
+    const uint32_t ci = union_list_[i];
+    // Bounds are recomputed for every lane (alive or not, active in
+    // this lane or not): they are a pure function of the partial sums
+    // and the lane tail, and only alive+active lanes are ever read.
+    double lo[social::kMaxFrontierLanes], up[social::kMaxFrontierLanes];
+    for (size_t l = 0; l < L; ++l) {
+      lo[l] = 1.0;
+      up[l] = 1.0;
     }
-    lower_[ci] = lo;
-    upper_[ci] = up;
+    const size_t base = static_cast<size_t>(ci) * n_keywords_;
+    for (size_t qi = 0; qi < n_keywords_; ++qi) {
+      const double* s = &kw_sum_[(base + qi) * L];
+      const double w = kw_w_[base + qi];
+      for (size_t l = 0; l < L; ++l) {
+        lo[l] *= s[l];
+        // W caps the sum (prox ≤ 1 per source); max(s, ·) shields the
+        // interval against prox marginally overshooting 1 in floating
+        // point, which would otherwise let upper dip below lower.
+        up[l] *= std::max(s[l], std::min(w, s[l] + w * tails[l]));
+      }
+    }
+    for (size_t l = 0; l < L; ++l) {
+      lower_[ci * L + l] = lo[l];
+      upper_[ci * L + l] = up[l];
+    }
   };
-  const size_t n = active_list_.size();
+  const size_t n = union_list_.size();
   if (pool != nullptr && n >= 512) {
     pool->ParallelFor(n, refresh);
   } else {
@@ -144,21 +210,30 @@ void CandidateBoundEngine::RefreshBounds(double tail, ThreadPool* pool) {
   }
 }
 
-size_t CandidateBoundEngine::CleanDominated(double epsilon) {
+void CandidateBoundEngine::RefreshBounds(double tail, ThreadPool* pool) {
+  double tails[social::kMaxFrontierLanes];
+  for (size_t l = 0; l < lanes_; ++l) tails[l] = tail;
+  RefreshBoundsBatch(tails, pool);
+}
+
+size_t CandidateBoundEngine::CleanDominated(double epsilon, size_t lane) {
+  const size_t L = lanes_;
   size_t killed = 0;
   auto dominates = [&](uint32_t b, uint32_t a) {
-    return lower_[b] > upper_[a] + epsilon ||
-           (std::abs(lower_[b] - upper_[a]) <= epsilon &&
-            lower_[b] >= upper_[b] - epsilon && node_[b] < node_[a]);
+    return lower_[b * L + lane] > upper_[a * L + lane] + epsilon ||
+           (std::abs(lower_[b * L + lane] - upper_[a * L + lane]) <=
+                epsilon &&
+            lower_[b * L + lane] >= upper_[b * L + lane] - epsilon &&
+            node_[b] < node_[a]);
   };
   for (const auto& [a, b] : nbr_pairs_) {
-    if (!active_[a] || !active_[b]) continue;
-    if (!alive_[a] || !alive_[b]) continue;
+    if (!active_[a * L + lane] || !active_[b * L + lane]) continue;
+    if (!alive_[a * L + lane] || !alive_[b * L + lane]) continue;
     if (dominates(b, a)) {
-      alive_[a] = 0;
+      alive_[a * L + lane] = 0;
       ++killed;
     } else if (dominates(a, b)) {
-      alive_[b] = 0;
+      alive_[b * L + lane] = 0;
       ++killed;
     }
   }
@@ -179,12 +254,12 @@ bool CandidateBoundEngine::AnyNeighborPair(
 }
 
 std::vector<uint32_t> CandidateBoundEngine::GreedyTopK(
-    const std::vector<uint32_t>& order, size_t k) {
+    const std::vector<uint32_t>& order, size_t k, size_t lane) {
   std::vector<uint32_t> picked;
   if (k == 0) return picked;
   ++mark_epoch_;
   for (uint32_t ci : order) {
-    if (!alive_[ci]) continue;
+    if (!alive_[ci * lanes_ + lane]) continue;
     bool conflict = false;
     for (uint32_t j = nbr_begin_[ci]; j < nbr_begin_[ci + 1]; ++j) {
       if (mark_[nbr_list_[j]] == mark_epoch_) {
@@ -202,7 +277,9 @@ std::vector<uint32_t> CandidateBoundEngine::GreedyTopK(
 }
 
 double CandidateBoundEngine::FromScratchKeywordSum(
-    uint32_t ci, size_t qi, const std::vector<double>& prox) const {
+    uint32_t ci, size_t qi, const std::vector<double>& prox,
+    size_t lane) const {
+  (void)lane;  // the from-scratch sum is lane-independent by definition
   const size_t sum_idx = ci * n_keywords_ + qi;
   double s = 0.0;
   for (uint64_t i = src_begin_[sum_idx]; i < src_begin_[sum_idx + 1]; ++i) {

@@ -29,13 +29,15 @@ void MaybeParallelFor(ThreadPool* pool, size_t n,
   }
 }
 
-// Resets a scratch frontier for a new query, reusing the dense buffer
-// when the instance size is unchanged (O(nonzero) instead of O(rows)).
-void ResetFrontier(Frontier& f, size_t total_rows) {
-  if (f.values.size() == total_rows) {
+// Resets a scratch frontier for a new query (or batch), reusing the
+// dense buffer when the instance size and lane count are unchanged
+// (O(nonzero · lanes) instead of O(rows · lanes)).
+void ResetFrontier(social::BatchFrontier& f, size_t total_rows,
+                   size_t lanes) {
+  if (f.lanes == lanes && f.values.size() == total_rows * lanes) {
     f.Clear();
   } else {
-    f.Init(total_rows);
+    f.Init(total_rows, lanes);
   }
 }
 
@@ -134,58 +136,90 @@ Result<std::vector<ResultEntry>> S3kSearcher::Search(const Query& query,
 
 Result<std::vector<ResultEntry>> S3kSearcher::SearchWithPlan(
     const Query& query, const CandidatePlan& plan, SearchStats* stats) {
+  // The single-seeker search *is* the batched search at width 1: one
+  // loop, one set of invariants, and the per-query tests exercise the
+  // exact code the batched server path runs.
+  auto batched =
+      SearchBatchWithPlan({BatchSeeker{query.seeker, options_.k}}, plan);
+  if (!batched.ok()) return batched.status();
+  if (stats != nullptr) *stats = std::move((*batched)[0].stats);
+  return std::move((*batched)[0].entries);
+}
+
+Result<std::vector<BatchQueryResult>> S3kSearcher::SearchBatchWithPlan(
+    const std::vector<BatchSeeker>& batch, const CandidatePlan& plan) {
   if (!instance_.finalized()) {
     return Status::FailedPrecondition("instance not finalized");
   }
-  if (query.seeker >= instance_.UserCount()) {
-    return Status::InvalidArgument("unknown seeker");
+  if (batch.empty()) {
+    return Status::InvalidArgument("empty batch");
+  }
+  if (batch.size() > kMaxBatch) {
+    return Status::InvalidArgument("batch exceeds kMaxBatch seekers");
+  }
+  for (const BatchSeeker& bs : batch) {
+    if (bs.seeker >= instance_.UserCount()) {
+      return Status::InvalidArgument("unknown seeker");
+    }
   }
   if (plan.n_keywords() == 0) {
     return Status::InvalidArgument("empty candidate plan");
   }
 
   WallTimer timer;
-  SearchStats local_stats;
-  SearchStats& st = stats ? *stats : local_stats;
-  st = SearchStats{};
-  st.extension_keywords = plan.extension_keywords;
-  st.components_passing = plan.passing.size();
+  const size_t B = batch.size();
+  // Lane count padded to a kernel-friendly width; lanes in [B, L) hold
+  // no mass, activate nothing, and compute on zeros only.
+  const size_t L = social::PadLanes(B);
 
   const double gamma = options_.score.gamma;
   const double c_gamma = CGamma(gamma);
   const size_t n_keywords = plan.n_keywords();
-
+  const size_t n_slots = plan.passing.size();
   const uint32_t total_rows = instance_.layout().total();
-  std::vector<double> comp_cap(plan.passing.size(), 0.0);
-  for (size_t i = 0; i < plan.passing.size(); ++i) {
+
+  std::vector<double> comp_cap(n_slots, 0.0);
+  for (size_t i = 0; i < n_slots; ++i) {
     comp_cap[i] = plan.per_comp[i].max_cap;
   }
 
-  // Flat incremental scoring state over all candidates (reads the
-  // per-component source lists; the plan itself stays untouched, so a
-  // cached plan serves any number of concurrent engines).
+  // Flat incremental scoring state over all candidates, one lane per
+  // batch member (reads the per-component source lists; the plan
+  // itself stays untouched, so a cached plan serves any number of
+  // concurrent engines). The static structure — candidate CSR, reverse
+  // index, neighbor adjacency — is built once and shared by every
+  // lane: this construction amortization plus the one-walk-per-
+  // iteration lane streaming is the whole point of batching.
   CandidateBoundEngine engine(instance_.docs(), n_keywords, total_rows,
-                              plan.per_comp);
-  st.candidates_total = engine.size();
-  st.candidate_nodes.reserve(engine.size());
-  for (uint32_t ci = 0; ci < engine.size(); ++ci) {
-    st.candidate_nodes.push_back(engine.node(ci));
+                              plan.per_comp, L);
+
+  std::vector<BatchQueryResult> out(B);
+  std::vector<size_t> ks(B);
+  for (size_t s = 0; s < B; ++s) {
+    ks[s] = batch[s].k > 0 ? batch[s].k : options_.k;
+    SearchStats& st = out[s].stats;
+    st.extension_keywords = plan.extension_keywords;
+    st.components_passing = n_slots;
+    st.candidates_total = engine.size();
+    st.candidate_nodes.reserve(engine.size());
+    for (uint32_t ci = 0; ci < engine.size(); ++ci) {
+      st.candidate_nodes.push_back(engine.node(ci));
+    }
   }
 
   // Component slots ordered by cap (for the unexplored-docs threshold).
-  std::vector<uint32_t> slots_by_cap(plan.passing.size());
-  for (size_t i = 0; i < plan.passing.size(); ++i) slots_by_cap[i] = i;
+  std::vector<uint32_t> slots_by_cap(n_slots);
+  for (size_t i = 0; i < n_slots; ++i) slots_by_cap[i] = i;
   std::sort(slots_by_cap.begin(), slots_by_cap.end(),
             [&](uint32_t a, uint32_t b) { return comp_cap[a] > comp_cap[b]; });
 
   // Discovery watch list: the member rows of every passing component,
-  // tagged with their slot. A component is discovered the first time
-  // the frontier holds mass on one of its rows; rows of discovered
-  // slots are compacted away, so the list only shrinks. This replaces
-  // the per-frontier-row component hash lookup of the from-scratch
-  // implementation.
+  // tagged with their slot. A component is discovered in a lane the
+  // first time that lane's frontier holds mass on one of its rows; a
+  // row is compacted away once every unfinished lane has discovered
+  // its slot, so the list only shrinks.
   std::vector<uint32_t> watch_rows, watch_slots;
-  for (size_t i = 0; i < plan.passing.size(); ++i) {
+  for (size_t i = 0; i < n_slots; ++i) {
     for (uint32_t row : instance_.components().Members(plan.passing[i])) {
       watch_rows.push_back(row);
       watch_slots.push_back(static_cast<uint32_t>(i));
@@ -194,7 +228,6 @@ Result<std::vector<ResultEntry>> S3kSearcher::SearchWithPlan(
 
   // ---- 4. Exploration state.
   const social::TransitionMatrix& matrix = instance_.matrix();
-  const uint32_t seeker_row = instance_.RowOfUser(query.seeker);
 
   // Reachability pruning: a passing component whose owners' reach root
   // differs from the seeker's can never be discovered (its sources can
@@ -202,185 +235,256 @@ Result<std::vector<ResultEntry>> S3kSearcher::SearchWithPlan(
   // threshold up. Plans built by BuildCandidatePlan always carry the
   // roots; a hand-built plan without them degrades to the conservative
   // everything-reachable behavior.
-  const bool have_reach = plan.comp_reach_root.size() == plan.passing.size();
-  const uint32_t seeker_root = instance_.ReachRootOfUser(query.seeker);
-  auto slot_reachable = [&](uint32_t slot) {
-    return !have_reach || plan.comp_reach_root[slot] == seeker_root;
+  const bool have_reach = plan.comp_reach_root.size() == n_slots;
+  std::vector<uint32_t> seeker_root(B);
+  for (size_t s = 0; s < B; ++s) {
+    seeker_root[s] = instance_.ReachRootOfUser(batch[s].seeker);
+  }
+  auto slot_reachable = [&](uint32_t slot, size_t s) {
+    return !have_reach || plan.comp_reach_root[slot] == seeker_root[s];
   };
 
-  Frontier& frontier = frontier_;
-  Frontier& next = next_;
-  ResetFrontier(frontier, total_rows);
-  ResetFrontier(next, total_rows);
-  frontier.Set(seeker_row, 1.0);
-  engine.ApplyDelta(seeker_row, c_gamma);  // the empty path
+  social::BatchFrontier& frontier = frontier_;
+  social::BatchFrontier& next = next_;
+  ResetFrontier(frontier, total_rows, L);
+  ResetFrontier(next, total_rows, L);
+  for (size_t s = 0; s < B; ++s) {
+    const uint32_t seeker_row = instance_.RowOfUser(batch[s].seeker);
+    frontier.Set(seeker_row, s, 1.0);
+    engine.ApplyDeltaLane(seeker_row, s, c_gamma);  // the empty path
+  }
 
-  std::vector<bool> discovered(plan.passing.size(), false);
-  size_t n_discovered = 0;
-  bool frontier_exhausted = false;
-  double last_threshold = 0.0;
+  // Per-lane loop state. `finished` marks members whose result is
+  // recorded (converged or never started); their frontier lane is
+  // zeroed, so they cost nothing but padded-lane arithmetic.
+  std::vector<uint8_t> discovered(n_slots * L, 0);  // [slot*L + lane]
+  std::vector<size_t> n_discovered(B, 0);
+  std::vector<uint8_t> exhausted(B, 0);
+  std::vector<uint8_t> finished(B, 0);
+  std::vector<double> last_threshold(B, 0.0);
+  size_t live = B;
 
-  auto make_result = [&](const std::vector<uint32_t>& picked) {
-    std::vector<ResultEntry> out;
-    out.reserve(picked.size());
+  if (orders_.size() < B) orders_.resize(B);
+
+  auto finish_lane = [&](size_t s, const std::vector<uint32_t>& picked) {
+    SearchStats& st = out[s].stats;
+    std::vector<ResultEntry>& entries = out[s].entries;
+    entries.reserve(picked.size());
     st.kth_lower = 0.0;
     for (uint32_t ci : picked) {
-      out.push_back(
-          ResultEntry{engine.node(ci), engine.lower(ci), engine.upper(ci)});
-      st.kth_lower = out.size() == 1
-                         ? engine.lower(ci)
-                         : std::min(st.kth_lower, engine.lower(ci));
+      entries.push_back(ResultEntry{engine.node(ci), engine.lower(ci, s),
+                                    engine.upper(ci, s)});
+      st.kth_lower = entries.size() == 1
+                         ? engine.lower(ci, s)
+                         : std::min(st.kth_lower, engine.lower(ci, s));
     }
     // Bound on everything not returned: the remaining alive candidates
     // plus whatever an undiscovered reachable component could still
     // hold (the threshold at termination).
-    st.remaining_upper = last_threshold;
-    for (uint32_t ci : engine.ActiveCandidates()) {
-      if (!engine.alive(ci)) continue;
+    st.remaining_upper = last_threshold[s];
+    for (uint32_t ci : engine.ActiveCandidates(s)) {
+      if (!engine.alive(ci, s)) continue;
       bool taken = false;  // picked is tiny (<= k): linear scan
       for (uint32_t p : picked) {
         if (p == ci) { taken = true; break; }
       }
       if (!taken) {
-        st.remaining_upper = std::max(st.remaining_upper, engine.upper(ci));
+        st.remaining_upper =
+            std::max(st.remaining_upper, engine.upper(ci, s));
       }
     }
-    st.components_discovered = n_discovered;
+    st.components_discovered = n_discovered[s];
     st.elapsed_seconds = timer.ElapsedSeconds();
-    return out;
+    finished[s] = 1;
+    --live;
+    // Drop out of the batch: no more frontier mass, no more deltas —
+    // lanes are independent, so the survivors are unaffected.
+    frontier.ZeroLane(s);
   };
 
-  // ---- 5. Main loop.
-  std::vector<uint32_t>& order = order_;  // active candidates by upper desc
-  order.clear();
-  for (size_t n = 1; n <= options_.max_iterations; ++n) {
-    st.iterations = n;
+  // ---- 5. Main loop: one shared CSR walk per iteration, per-lane
+  // bookkeeping per seeker. Per lane this runs exactly the
+  // single-seeker sequence (a zero delta / zero mass is bitwise inert:
+  // every folded quantity is non-negative, so x + 0.0 never flips a
+  // bit), which is what makes batched results bit-for-bit equal to
+  // per-query SearchWithPlan.
+  double d[social::kMaxFrontierLanes];
+  std::vector<double> tails(L, 0.0);
+  for (size_t n = 1; n <= options_.max_iterations && live > 0; ++n) {
+    for (size_t s = 0; s < B; ++s) {
+      if (!finished[s]) out[s].stats.iterations = n;
+    }
 
     // ExploreStep: border := border · T ; allProx += Cγ · border / γⁿ.
-    // Every row the frontier touches feeds its Δprox to the affected
-    // per-keyword sums through the engine's reverse index — bounds are
-    // never recomputed from the full source lists.
-    if (!frontier_exhausted) {
-      matrix.PropagateAdaptive(frontier, next, pool_.get());
+    bool any_frontier = false;
+    for (size_t s = 0; s < B; ++s) {
+      if (!finished[s] && !exhausted[s]) any_frontier = true;
+    }
+    if (any_frontier) {
+      matrix.PropagateBatchAdaptive(frontier, next, pool_.get());
       std::swap(frontier, next);
-      if (frontier.nonzero.empty()) frontier_exhausted = true;
-      const double factor = c_gamma * std::pow(gamma, -static_cast<double>(n));
-      // Fold deltas over the smaller domain: the frontier, or the rows
-      // that actually feed candidates (once the frontier saturates the
-      // graph, the source-row sweep is much narrower).
-      const std::vector<uint32_t>& src_rows = engine.SourceRows();
-      if (frontier.nonzero.size() <= src_rows.size()) {
-        for (uint32_t row : frontier.nonzero) {
-          engine.ApplyDelta(row, factor * frontier.values[row]);
-        }
-      } else {
-        for (uint32_t row : src_rows) {
-          const double v = frontier.values[row];
-          if (v != 0.0) engine.ApplyDelta(row, factor * v);
+      for (size_t s = 0; s < B; ++s) {
+        if (!finished[s] && !exhausted[s] && !frontier.LaneHasMass(s)) {
+          exhausted[s] = 1;
         }
       }
+      const double factor =
+          c_gamma * std::pow(gamma, -static_cast<double>(n));
+      // Fold deltas over the smaller domain: the union frontier, or
+      // the rows that actually feed candidates (once the frontier
+      // saturates the graph, the source-row sweep is much narrower).
+      const std::vector<uint32_t>& src_rows = engine.SourceRows();
+      auto fold_row = [&](uint32_t row) {
+        const double* v = &frontier.values[static_cast<size_t>(row) * L];
+        bool any = false;
+        for (size_t l = 0; l < L; ++l) {
+          d[l] = factor * v[l];
+          any = any || v[l] != 0.0;
+        }
+        if (any) engine.ApplyDeltaBatch(row, d);
+      };
+      if (frontier.nonzero.size() <= src_rows.size()) {
+        for (uint32_t row : frontier.nonzero) fold_row(row);
+      } else {
+        for (uint32_t row : src_rows) fold_row(row);
+      }
       // Discovery sweep over the rows of still-undiscovered passing
-      // components; rows of discovered slots are compacted away.
-      if (n_discovered < plan.passing.size()) {
-        size_t w = 0;
-        for (size_t i = 0; i < watch_rows.size(); ++i) {
-          const uint32_t slot = watch_slots[i];
-          if (discovered[slot]) continue;
-          if (frontier.values[watch_rows[i]] != 0.0) {
-            discovered[slot] = true;
-            ++n_discovered;
-            engine.ActivateSlot(slot);
-            continue;
+      // components, per lane; a row is compacted away once no
+      // unfinished lane watches its slot.
+      size_t w = 0;
+      for (size_t i = 0; i < watch_rows.size(); ++i) {
+        const uint32_t slot = watch_slots[i];
+        const uint32_t row = watch_rows[i];
+        const double* v = &frontier.values[static_cast<size_t>(row) * L];
+        bool keep = false;
+        for (size_t s = 0; s < B; ++s) {
+          if (finished[s] || discovered[slot * L + s]) continue;
+          if (v[s] != 0.0) {
+            discovered[slot * L + s] = 1;
+            ++n_discovered[s];
+            engine.ActivateSlot(slot, s);
+          } else {
+            keep = true;
           }
-          watch_rows[w] = watch_rows[i];
+        }
+        if (keep) {
+          watch_rows[w] = row;
           watch_slots[w] = slot;
           ++w;
         }
-        watch_rows.resize(w);
-        watch_slots.resize(w);
       }
+      watch_rows.resize(w);
+      watch_slots.resize(w);
     }
 
-    // Bounds. Once the frontier is exhausted there are no longer paths
-    // at all: the partial sums are exact and the tail is 0.
-    const double tail = frontier_exhausted ? 0.0 : TailBound(gamma, n);
-    engine.RefreshBounds(tail, pool_.get());
-
-    // Threshold: best possible score of any undiscovered document —
-    // over the *reachable* undiscovered components only.
-    double threshold = 0.0;
-    if (!frontier_exhausted) {
-      const double b = UndiscoveredBound(gamma, n);
-      for (uint32_t slot : slots_by_cap) {
-        if (!discovered[slot] && slot_reachable(slot)) {
-          threshold = comp_cap[slot] *
-                      std::pow(std::min(1.0, b),
-                               static_cast<double>(n_keywords));
-          break;
-        }
-      }
+    // Bounds. Once a lane's frontier is exhausted there are no longer
+    // paths at all for that seeker: its partial sums are exact and its
+    // tail is 0.
+    for (size_t s = 0; s < B; ++s) {
+      tails[s] = exhausted[s] ? 0.0 : TailBound(gamma, n);
     }
-    last_threshold = threshold;
+    for (size_t s = B; s < L; ++s) tails[s] = 0.0;
+    engine.RefreshBoundsBatch(tails.data(), pool_.get());
 
-    // CleanCandidatesList: drop candidates dominated by a vertical
-    // neighbor (sound forever: lower bounds only grow, uppers only
-    // shrink). The engine scans its precomputed neighbor-pair list.
-    st.candidates_cleaned += engine.CleanDominated(options_.epsilon);
-
-    // StopCondition (paper Algorithm 2).
-    order.clear();
-    for (uint32_t ci : engine.ActiveCandidates()) {
-      if (engine.alive(ci)) order.push_back(ci);
-    }
-    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-      if (engine.upper(a) != engine.upper(b)) {
-        return engine.upper(a) > engine.upper(b);
-      }
-      return engine.node(a) < engine.node(b);
-    });
-
-    if (order.size() >= options_.k || frontier_exhausted ||
-        threshold <= options_.epsilon) {
-      // Check the first k alive candidates: pairwise non-neighbors?
-      size_t kk = std::min(options_.k, order.size());
-      if (!engine.AnyNeighborPair(order, kk)) {
-        double min_topk_lower = std::numeric_limits<double>::infinity();
-        for (size_t i = 0; i < kk; ++i) {
-          min_topk_lower = std::min(min_topk_lower, engine.lower(order[i]));
-        }
-        double max_non_topk_upper =
-            order.size() > kk ? engine.upper(order[kk]) : 0.0;
-        if (std::max(max_non_topk_upper, threshold) <=
-            min_topk_lower + options_.epsilon) {
-          // With fewer than k results we are only done once nothing
-          // undiscovered could still qualify (threshold ~ 0).
-          if (kk == options_.k || threshold <= options_.epsilon) {
-            st.converged = true;
-            return make_result(
-                std::vector<uint32_t>(order.begin(), order.begin() + kk));
+    // Threshold per lane: best possible score of any undiscovered
+    // document — over the *reachable* undiscovered components only.
+    for (size_t s = 0; s < B; ++s) {
+      if (finished[s]) continue;
+      double threshold = 0.0;
+      if (!exhausted[s]) {
+        const double b = UndiscoveredBound(gamma, n);
+        for (uint32_t slot : slots_by_cap) {
+          if (!discovered[slot * L + s] && slot_reachable(slot, s)) {
+            threshold = comp_cap[slot] *
+                        std::pow(std::min(1.0, b),
+                                 static_cast<double>(n_keywords));
+            break;
           }
         }
       }
+      last_threshold[s] = threshold;
     }
 
-    if (frontier_exhausted && n_discovered == plan.passing.size()) {
-      // Everything reachable is explored exactly; ties included.
-      st.converged = true;
-      return make_result(engine.GreedyTopK(order, options_.k));
+    // CleanCandidatesList per lane: drop candidates dominated by a
+    // vertical neighbor (sound forever: lower bounds only grow, uppers
+    // only shrink). The engine scans its precomputed neighbor-pair
+    // list.
+    for (size_t s = 0; s < B; ++s) {
+      if (finished[s]) continue;
+      out[s].stats.candidates_cleaned +=
+          engine.CleanDominated(options_.epsilon, s);
     }
-    if (frontier_exhausted && threshold <= options_.epsilon) {
-      // Unreached components can only hold zero-score documents.
-      st.converged = true;
-      return make_result(engine.GreedyTopK(order, options_.k));
+
+    // StopCondition (paper Algorithm 2), per lane. A converged lane
+    // records its result and drops out; the others keep iterating.
+    for (size_t s = 0; s < B; ++s) {
+      if (finished[s]) continue;
+      std::vector<uint32_t>& order = orders_[s];
+      order.clear();
+      for (uint32_t ci : engine.ActiveCandidates(s)) {
+        if (engine.alive(ci, s)) order.push_back(ci);
+      }
+      std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        if (engine.upper(a, s) != engine.upper(b, s)) {
+          return engine.upper(a, s) > engine.upper(b, s);
+        }
+        return engine.node(a) < engine.node(b);
+      });
+      const size_t k_s = ks[s];
+      const double threshold = last_threshold[s];
+
+      if (order.size() >= k_s || exhausted[s] ||
+          threshold <= options_.epsilon) {
+        // Check the first k alive candidates: pairwise non-neighbors?
+        size_t kk = std::min(k_s, order.size());
+        if (!engine.AnyNeighborPair(order, kk)) {
+          double min_topk_lower = std::numeric_limits<double>::infinity();
+          for (size_t i = 0; i < kk; ++i) {
+            min_topk_lower =
+                std::min(min_topk_lower, engine.lower(order[i], s));
+          }
+          double max_non_topk_upper =
+              order.size() > kk ? engine.upper(order[kk], s) : 0.0;
+          if (std::max(max_non_topk_upper, threshold) <=
+              min_topk_lower + options_.epsilon) {
+            // With fewer than k results we are only done once nothing
+            // undiscovered could still qualify (threshold ~ 0).
+            if (kk == k_s || threshold <= options_.epsilon) {
+              out[s].stats.converged = true;
+              finish_lane(s, std::vector<uint32_t>(order.begin(),
+                                                   order.begin() + kk));
+              continue;
+            }
+          }
+        }
+      }
+
+      if (exhausted[s] && n_discovered[s] == n_slots) {
+        // Everything reachable is explored exactly; ties included.
+        out[s].stats.converged = true;
+        finish_lane(s, engine.GreedyTopK(order, k_s, s));
+        continue;
+      }
+      if (exhausted[s] && threshold <= options_.epsilon) {
+        // Unreached components can only hold zero-score documents.
+        out[s].stats.converged = true;
+        finish_lane(s, engine.GreedyTopK(order, k_s, s));
+        continue;
+      }
     }
+
     if (options_.time_budget_seconds > 0.0 &&
         timer.ElapsedSeconds() >= options_.time_budget_seconds) {
       break;  // anytime termination on budget exhaustion
     }
   }
 
-  // Anytime termination (paper §4.1): return the best k known now.
-  return make_result(engine.GreedyTopK(order, options_.k));
+  // Anytime termination (paper §4.1): unfinished members return the
+  // best k known now (converged stays false in their stats).
+  for (size_t s = 0; s < B; ++s) {
+    if (!finished[s]) finish_lane(s, engine.GreedyTopK(orders_[s], ks[s], s));
+  }
+  return out;
 }
 
 }  // namespace s3::core

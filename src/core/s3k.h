@@ -21,6 +21,7 @@
 #include "core/connections.h"
 #include "core/s3_instance.h"
 #include "core/score.h"
+#include "social/transition_matrix.h"
 
 namespace s3::core {
 
@@ -125,15 +126,36 @@ struct SearchStats {
   std::vector<doc::NodeId> candidate_nodes;
 };
 
-// A reusable query worker. One searcher answers one query at a time;
-// it keeps per-worker scratch (the exploration frontiers, the candidate
-// ordering buffer, and the intra-query thread pool) alive across
-// queries so the steady state allocates nothing per query outside the
-// bound engine. Distinct searchers over the same const S3Instance are
-// independent and may run concurrently — the serving layer
-// (server/query_service.h) pools N of them over one shared snapshot.
+// One member of a multi-seeker batch. `k == 0` means "use the
+// searcher's options().k"; a per-member k lets same-keyword queries
+// with different result sizes share one batch.
+struct BatchSeeker {
+  social::UserId seeker = 0;
+  size_t k = 0;
+};
+
+// Per-member result of a batched search: exactly what SearchWithPlan
+// plus its SearchStats out-param would have produced for that member
+// alone (bit-for-bit — batch composition is never observable).
+struct BatchQueryResult {
+  std::vector<ResultEntry> entries;
+  SearchStats stats;
+};
+
+// A reusable query worker. One searcher answers one query (or one
+// batch) at a time; it keeps per-worker scratch (the exploration
+// frontiers, the candidate ordering buffers, and the intra-query
+// thread pool) alive across queries so the steady state allocates
+// nothing per query outside the bound engine. Distinct searchers over
+// the same const S3Instance are independent and may run concurrently —
+// the serving layer (server/query_service.h) pools N of them over one
+// shared snapshot.
 class S3kSearcher {
  public:
+  // Batch-width cap for SearchBatchWithPlan (lane-padded widths must
+  // fit social::kMaxFrontierLanes).
+  static constexpr size_t kMaxBatch = 32;
+
   // `instance` must outlive the searcher and be finalized.
   S3kSearcher(const S3Instance& instance, S3kOptions options);
 
@@ -152,6 +174,18 @@ class S3kSearcher {
                                                   const CandidatePlan& plan,
                                                   SearchStats* stats = nullptr);
 
+  // Multi-seeker exploration: answers every batch member against one
+  // shared plan in a single engine pass — one candidate-structure
+  // build, one CSR walk per iteration carrying all seeker lanes (SoA;
+  // see bound_engine.h). Results are bit-for-bit identical to running
+  // SearchWithPlan per member: lanes are arithmetically independent,
+  // and a converged member drops out of the batch (its frontier lane
+  // is zeroed) without perturbing the others. Batch size must be in
+  // [1, kMaxBatch]; members may repeat seekers and mix k values.
+  // SearchWithPlan is this with a batch of one.
+  Result<std::vector<BatchQueryResult>> SearchBatchWithPlan(
+      const std::vector<BatchSeeker>& batch, const CandidatePlan& plan);
+
   const S3kOptions& options() const { return options_; }
 
   // The searcher's intra-query thread pool (null when threads <= 1).
@@ -166,8 +200,11 @@ class S3kSearcher {
   // constructor when threads > 1, so Search never mutates structure).
   std::unique_ptr<ThreadPool> pool_;
   // Per-worker scratch reused across queries (reset at query start).
-  social::Frontier frontier_, next_;
-  std::vector<uint32_t> order_;  // active candidates by upper desc
+  // The single-seeker path runs through the same lane-batched
+  // frontiers at lane count 1.
+  social::BatchFrontier frontier_, next_;
+  // Per-lane active candidates by upper desc.
+  std::vector<std::vector<uint32_t>> orders_;
 };
 
 }  // namespace s3::core

@@ -63,18 +63,26 @@ std::string FormatSnapshot(const LatencySnapshot& s) {
 }
 
 std::string FormatCounters(const ServiceCounters& c) {
-  char buf[160];
+  char buf[224];
+  int n = 0;
   if (c.cache_hits + c.cache_misses == 0) {
-    std::snprintf(buf, sizeof(buf), "rejected=%llu cache=off",
-                  static_cast<unsigned long long>(c.rejected_queue_full));
+    n = std::snprintf(buf, sizeof(buf), "rejected=%llu cache=off",
+                      static_cast<unsigned long long>(c.rejected_queue_full));
   } else {
-    std::snprintf(buf, sizeof(buf),
-                  "rejected=%llu cache=%llu/%llu (%.1f%% hit)",
-                  static_cast<unsigned long long>(c.rejected_queue_full),
-                  static_cast<unsigned long long>(c.cache_hits),
-                  static_cast<unsigned long long>(c.cache_hits +
-                                                  c.cache_misses),
-                  c.CacheHitRate() * 100.0);
+    n = std::snprintf(buf, sizeof(buf),
+                      "rejected=%llu cache=%llu/%llu (%.1f%% hit)",
+                      static_cast<unsigned long long>(c.rejected_queue_full),
+                      static_cast<unsigned long long>(c.cache_hits),
+                      static_cast<unsigned long long>(c.cache_hits +
+                                                      c.cache_misses),
+                      c.CacheHitRate() * 100.0);
+  }
+  if (c.batches_executed > 0 && n > 0 &&
+      static_cast<size_t>(n) < sizeof(buf)) {
+    std::snprintf(buf + n, sizeof(buf) - n, " batched=%llu/%llu (%.1f avg)",
+                  static_cast<unsigned long long>(c.batched_queries),
+                  static_cast<unsigned long long>(c.batches_executed),
+                  c.MeanBatchWidth());
   }
   return buf;
 }

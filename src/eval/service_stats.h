@@ -81,15 +81,28 @@ struct ServiceCounters {
   uint64_t rejected_queue_full = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  // Multi-seeker batching (query_service.h batch_window): queries
+  // answered as part of a width >= 2 batch, and how many such batches
+  // ran. Width-1 passes count in neither — the ratio is the mean width
+  // of the batches that actually amortized work.
+  uint64_t batched_queries = 0;
+  uint64_t batches_executed = 0;
 
   double CacheHitRate() const {
     const uint64_t total = cache_hits + cache_misses;
     return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
   }
+
+  double MeanBatchWidth() const {
+    return batches_executed == 0
+               ? 0.0
+               : static_cast<double>(batched_queries) / batches_executed;
+  }
 };
 
-// e.g. "rejected=12 cache=873/1024 (85.3% hit)"; cache part reads
-// "cache=off" when the service runs without one (both counters zero).
+// e.g. "rejected=12 cache=873/1024 (85.3% hit) batched=96/24 (4.0 avg)";
+// cache part reads "cache=off" when the service runs without one (both
+// counters zero); the batched part is omitted when no batch ever formed.
 std::string FormatCounters(const ServiceCounters& c);
 
 }  // namespace s3::eval

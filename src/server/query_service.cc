@@ -1,9 +1,29 @@
 #include "server/query_service.h"
 
+#include <algorithm>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace s3::server {
+
+namespace {
+
+// True iff `keywords` is a permutation of the sorted multiset
+// `sorted_ref` — i.e. both queries resolve to the same plan-cache key
+// (use_semantics/eta are service-wide constants, and the batching
+// worker binds one snapshot generation for the whole run). Runs under
+// the queue lock: n <= 64 small ids, so the sort is noise next to a
+// millisecond query.
+bool SameKeywordMultiset(const std::vector<KeywordId>& keywords,
+                         const std::vector<KeywordId>& sorted_ref) {
+  if (keywords.size() != sorted_ref.size()) return false;
+  std::vector<KeywordId> sorted = keywords;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted == sorted_ref;
+}
+
+}  // namespace
 
 QueryService::QueryService(std::shared_ptr<const core::S3Instance> snapshot,
                            QueryServiceOptions options)
@@ -194,19 +214,84 @@ void QueryService::WorkerLoop() {
       continue;
     }
 
-    auto result = searcher->SearchWithPlan(task.query, **plan,
-                                           &response.stats);
-    if (!result.ok()) {
-      failed_.fetch_add(1, std::memory_order_relaxed);
-      task.promise.set_value(result.status());
+    // Multi-seeker batching: with the head's plan resolved, drain up
+    // to batch_window - 1 queued queries over the same keyword
+    // multiset (⇒ same plan: use_semantics/eta are service-wide and
+    // the snapshot is bound once above — a batch can never span a
+    // SwapSnapshot generation). Only consecutive head-of-queue matches
+    // are taken, so non-matching queries are never reordered past.
+    std::vector<Task> followers;
+    std::vector<double> follower_queue_secs;  // stamped at drain time
+    const size_t window =
+        std::min(options_.batch_window, core::S3kSearcher::kMaxBatch);
+    if (window > 1) {
+      std::vector<KeywordId> sorted_ref = task.query.keywords;
+      std::sort(sorted_ref.begin(), sorted_ref.end());
+      while (followers.size() + 1 < window) {
+        auto more = queue_.TryPopIf([&](const Task& t) {
+          return SameKeywordMultiset(t.query.keywords, sorted_ref);
+        });
+        if (!more) break;
+        follower_queue_secs.push_back(more->timer.ElapsedSeconds());
+        followers.push_back(std::move(*more));
+      }
+    }
+
+    if (followers.empty()) {
+      // Single-query pass (batching off, or no same-plan neighbor was
+      // queued) — identical to the pre-batching serving path.
+      auto result = searcher->SearchWithPlan(task.query, **plan,
+                                             &response.stats);
+      if (!result.ok()) {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        task.promise.set_value(result.status());
+        continue;
+      }
+      response.entries = std::move(*result);
+      response.total_seconds = task.timer.ElapsedSeconds();
+      latency_.Add(response.total_seconds);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      task.promise.set_value(std::move(response));
       continue;
     }
 
-    response.entries = std::move(*result);
-    response.total_seconds = task.timer.ElapsedSeconds();
-    latency_.Add(response.total_seconds);
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    task.promise.set_value(std::move(response));
+    // Batched pass. Every member was validated at admission against a
+    // snapshot of this lineage no newer than `bound` (user ids only
+    // grow within a lineage), so per-member validation cannot fail
+    // here; a batch error fails every member alike.
+    std::vector<Task> tasks;
+    tasks.reserve(followers.size() + 1);
+    tasks.push_back(std::move(task));
+    for (Task& f : followers) tasks.push_back(std::move(f));
+    std::vector<core::BatchSeeker> batch(tasks.size());
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      batch[i].seeker = tasks[i].query.seeker;
+    }
+    auto batched = searcher->SearchBatchWithPlan(batch, **plan);
+    if (!batched.ok()) {
+      failed_.fetch_add(tasks.size(), std::memory_order_relaxed);
+      for (Task& t : tasks) t.promise.set_value(batched.status());
+      continue;
+    }
+    batches_executed_.fetch_add(1, std::memory_order_relaxed);
+    batched_queries_.fetch_add(tasks.size(), std::memory_order_relaxed);
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      QueryResponse r;
+      r.generation = response.generation;
+      // Followers ride the head's plan resolution: with the cache on,
+      // a solo run would have hit the entry the head just ensured, so
+      // report them as hits; with it off they are free riders either
+      // way.
+      r.cache_hit = i == 0 ? response.cache_hit : cache_ != nullptr;
+      r.queue_seconds =
+          i == 0 ? response.queue_seconds : follower_queue_secs[i - 1];
+      r.entries = std::move((*batched)[i].entries);
+      r.stats = std::move((*batched)[i].stats);
+      r.total_seconds = tasks[i].timer.ElapsedSeconds();
+      latency_.Add(r.total_seconds);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      tasks[i].promise.set_value(std::move(r));
+    }
   }
 }
 
@@ -230,6 +315,8 @@ QueryServiceStats QueryService::Stats() const {
   out.rejected = rejected_.load(std::memory_order_relaxed);
   out.completed = completed_.load(std::memory_order_relaxed);
   out.failed = failed_.load(std::memory_order_relaxed);
+  out.batched_queries = batched_queries_.load(std::memory_order_relaxed);
+  out.batches_executed = batches_executed_.load(std::memory_order_relaxed);
   if (cache_ != nullptr) {
     const ProximityCacheStats cache = cache_->Stats();
     out.cache_hits = cache.hits;

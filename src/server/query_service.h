@@ -71,6 +71,17 @@ struct QueryServiceOptions {
   bool enable_cache = true;
   size_t cache_shards = 8;
   size_t cache_capacity_per_shard = 64;
+  // Multi-seeker batching: after dequeuing a query, the worker drains
+  // up to batch_window - 1 further *queued* queries over the same
+  // keyword multiset (same plan-cache key: sorted keywords —
+  // use_semantics/eta are service-wide and the snapshot is bound once
+  // per batch) and answers the whole run in one
+  // S3kSearcher::SearchBatchWithPlan pass. Results are bit-for-bit what
+  // each query would get alone; only latency/throughput change. 0 or 1
+  // disables batching. Capped at S3kSearcher::kMaxBatch. Batching only
+  // helps when the queue actually backs up with same-plan queries
+  // (throughput mode); an idle service answers singles either way.
+  size_t batch_window = 0;
 };
 
 // What the future resolves to on success.
@@ -99,6 +110,13 @@ struct QueryServiceStats {
   uint64_t failed = 0;       // promise fulfilled with an error status
   uint64_t cache_hits = 0;   // plan served from the proximity cache
   uint64_t cache_misses = 0; // plan built (cache enabled but cold)
+  // Multi-seeker batching (batch_window): queries answered inside a
+  // width >= 2 batch, and how many such batches ran. Queries answered
+  // alone (batching off, or no same-plan neighbor queued) count in
+  // neither. batched_queries / batches_executed is the mean width of
+  // the batches that amortized work.
+  uint64_t batched_queries = 0;
+  uint64_t batches_executed = 0;
 
   // The operational-health view (eval::FormatCounters renders it).
   eval::ServiceCounters Counters() const {
@@ -106,6 +124,8 @@ struct QueryServiceStats {
     c.rejected_queue_full = rejected;
     c.cache_hits = cache_hits;
     c.cache_misses = cache_misses;
+    c.batched_queries = batched_queries;
+    c.batches_executed = batches_executed;
     return c;
   }
 };
@@ -198,6 +218,8 @@ class QueryService {
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> batched_queries_{0};
+  std::atomic<uint64_t> batches_executed_{0};
 };
 
 }  // namespace s3::server

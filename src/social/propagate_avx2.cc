@@ -1,0 +1,26 @@
+// AVX2 instantiation of the shared propagation kernels. See
+// propagate_avx2.h for the dispatch contract. The body is guarded so
+// the file compiles to nothing when the build does not enable the TU
+// (S3_SIMD=OFF, non-x86 target, or a compiler without -mavx2): the
+// source list is glob-based, so the guard — not the build system —
+// keeps scalar builds scalar.
+#if defined(S3_SIMD_AVX2_TU)
+
+#include "social/propagate_avx2.h"
+#include "social/propagate_kernels.h"
+
+namespace s3::social::avx2 {
+
+void ScatterRow(size_t lanes, const uint32_t* cols, const double* vals,
+                size_t n, const double* mass, double* out) {
+  pk::ScatterRow(lanes, cols, vals, n, mass, out);
+}
+
+void GatherRow(size_t lanes, const uint32_t* cols, const double* vals,
+               size_t n, const double* in, double* acc) {
+  pk::GatherRow(lanes, cols, vals, n, in, acc);
+}
+
+}  // namespace s3::social::avx2
+
+#endif  // S3_SIMD_AVX2_TU

@@ -1,0 +1,26 @@
+// AVX2 build of the shared L-lane CSR kernels (propagate_kernels.h).
+//
+// The kernels themselves are plain C++; this TU is the *only* one
+// compiled with -mavx2 (plus -ffp-contract=off so no FMA contraction
+// can creep in), and TransitionMatrix dispatches to it at runtime when
+// the host CPU supports AVX2. Only the element-wise lane dimension
+// vectorizes, so the AVX2 results are bit-for-bit the scalar results.
+//
+// The symbols exist only when CMake enables the TU (S3_SIMD=ON on an
+// x86-64 GCC/Clang build); callers gate on S3_SIMD_AVX2.
+#ifndef S3_SOCIAL_PROPAGATE_AVX2_H_
+#define S3_SOCIAL_PROPAGATE_AVX2_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace s3::social::avx2 {
+
+void ScatterRow(size_t lanes, const uint32_t* cols, const double* vals,
+                size_t n, const double* mass, double* out);
+void GatherRow(size_t lanes, const uint32_t* cols, const double* vals,
+               size_t n, const double* in, double* acc);
+
+}  // namespace s3::social::avx2
+
+#endif  // S3_SOCIAL_PROPAGATE_AVX2_H_

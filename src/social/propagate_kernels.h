@@ -1,0 +1,92 @@
+// L-lane CSR propagation kernels shared by the single-seeker and
+// batched exploration paths (and compiled a second time under -mavx2
+// in propagate_avx2.cc for the runtime-dispatched SIMD variant).
+//
+// Layout: a batched frontier stores L per-seeker values contiguously
+// per entity row (values[row*L + lane]) — the textbook SpMM shape: one
+// CSR walk over the matrix streams L independent right-hand sides.
+// The compiler vectorizes the fixed-width inner lane loop only; the
+// per-lane operation sequence over CSR entries is exactly the scalar
+// single-seeker order, so every lane's result is bit-for-bit the value
+// a lone query would compute. (No FMA contraction, no reassociation:
+// the TUs compile without -mfma / fast-math, and the lane dimension is
+// element-wise, so there is nothing for the compiler to reorder.)
+#ifndef S3_SOCIAL_PROPAGATE_KERNELS_H_
+#define S3_SOCIAL_PROPAGATE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace s3::social::pk {
+
+// Push (scatter) step for one source row: for each CSR entry
+// (cols[i], vals[i]) of the row, out[cols[i]*L + l] += mass[l]*vals[i].
+template <int L>
+inline void ScatterRowT(const uint32_t* cols, const double* vals, size_t n,
+                        const double* __restrict mass,
+                        double* __restrict out) {
+  for (size_t i = 0; i < n; ++i) {
+    double* __restrict o = out + static_cast<size_t>(cols[i]) * L;
+    const double v = vals[i];
+    for (int l = 0; l < L; ++l) o[l] += mass[l] * v;
+  }
+}
+
+// Pull (gather) step for one output row: acc[l] = Σ_i in[cols[i]*L + l]
+// * vals[i] over the transpose row's entries. Entries accumulate in
+// ascending source-row order — the same order the push form visits
+// them — so pull and push produce bitwise-identical sums.
+template <int L>
+inline void GatherRowT(const uint32_t* cols, const double* vals, size_t n,
+                       const double* __restrict in, double* __restrict acc) {
+  for (int l = 0; l < L; ++l) acc[l] = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double* __restrict p = in + static_cast<size_t>(cols[i]) * L;
+    const double v = vals[i];
+    for (int l = 0; l < L; ++l) acc[l] += p[l] * v;
+  }
+}
+
+// Runtime-width dispatchers. Lane counts are padded to 1, 2, 4, 8 or a
+// multiple of 4 (social::PadLanes), so the generic tail runs the fixed
+// 4-wide kernel over lane chunks.
+inline void ScatterRow(size_t lanes, const uint32_t* cols, const double* vals,
+                       size_t n, const double* mass, double* out) {
+  switch (lanes) {
+    case 1: return ScatterRowT<1>(cols, vals, n, mass, out);
+    case 2: return ScatterRowT<2>(cols, vals, n, mass, out);
+    case 4: return ScatterRowT<4>(cols, vals, n, mass, out);
+    case 8: return ScatterRowT<8>(cols, vals, n, mass, out);
+    default:
+      for (size_t i = 0; i < n; ++i) {
+        double* o = out + static_cast<size_t>(cols[i]) * lanes;
+        const double v = vals[i];
+        for (size_t c = 0; c + 4 <= lanes; c += 4) {
+          for (int l = 0; l < 4; ++l) o[c + l] += mass[c + l] * v;
+        }
+      }
+  }
+}
+
+inline void GatherRow(size_t lanes, const uint32_t* cols, const double* vals,
+                      size_t n, const double* in, double* acc) {
+  switch (lanes) {
+    case 1: return GatherRowT<1>(cols, vals, n, in, acc);
+    case 2: return GatherRowT<2>(cols, vals, n, in, acc);
+    case 4: return GatherRowT<4>(cols, vals, n, in, acc);
+    case 8: return GatherRowT<8>(cols, vals, n, in, acc);
+    default:
+      for (size_t l = 0; l < lanes; ++l) acc[l] = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double* p = in + static_cast<size_t>(cols[i]) * lanes;
+        const double v = vals[i];
+        for (size_t c = 0; c + 4 <= lanes; c += 4) {
+          for (int l = 0; l < 4; ++l) acc[c + l] += p[c + l] * v;
+        }
+      }
+  }
+}
+
+}  // namespace s3::social::pk
+
+#endif  // S3_SOCIAL_PROPAGATE_KERNELS_H_

@@ -1,10 +1,45 @@
 #include "social/transition_matrix.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <unordered_map>
 
+#include "social/propagate_kernels.h"
+#if defined(S3_SIMD_AVX2)
+#include "social/propagate_avx2.h"
+#endif
+
 namespace s3::social {
+
+namespace {
+
+// Runtime kernel dispatch: the AVX2 TU (compiled with -mavx2, no FMA
+// contraction, no fast-math) is bit-for-bit equal to the scalar
+// build — only the element-wise lane dimension vectorizes — so the
+// dispatch is purely a throughput decision.
+#if defined(S3_SIMD_AVX2)
+const bool kHaveAvx2 = __builtin_cpu_supports("avx2");
+#endif
+
+inline void ScatterRowD(size_t lanes, const uint32_t* cols,
+                        const double* vals, size_t n, const double* mass,
+                        double* out) {
+#if defined(S3_SIMD_AVX2)
+  if (kHaveAvx2) return avx2::ScatterRow(lanes, cols, vals, n, mass, out);
+#endif
+  pk::ScatterRow(lanes, cols, vals, n, mass, out);
+}
+
+inline void GatherRowD(size_t lanes, const uint32_t* cols, const double* vals,
+                       size_t n, const double* in, double* acc) {
+#if defined(S3_SIMD_AVX2)
+  if (kHaveAvx2) return avx2::GatherRow(lanes, cols, vals, n, in, acc);
+#endif
+  pk::GatherRow(lanes, cols, vals, n, in, acc);
+}
+
+}  // namespace
 
 void Frontier::Clear() {
   for (uint32_t row : nonzero) values[row] = 0.0;
@@ -25,6 +60,41 @@ double Frontier::Sum() const {
   double s = 0.0;
   for (uint32_t row : nonzero) s += values[row];
   return s;
+}
+
+void BatchFrontier::Init(size_t total_rows, size_t n_lanes) {
+  assert(n_lanes >= 1 && n_lanes <= kMaxFrontierLanes);
+  lanes = n_lanes;
+  values.assign(total_rows * n_lanes, 0.0);
+  nonzero.clear();
+  lane_mass.assign(n_lanes, 0);
+  touch_epoch.assign(total_rows, 0);
+  epoch = 0;
+}
+
+void BatchFrontier::Clear() {
+  for (uint32_t row : nonzero) {
+    double* p = &values[static_cast<size_t>(row) * lanes];
+    for (size_t l = 0; l < lanes; ++l) p[l] = 0.0;
+  }
+  nonzero.clear();
+  std::fill(lane_mass.begin(), lane_mass.end(), 0);
+}
+
+void BatchFrontier::Set(uint32_t row, size_t lane, double v) {
+  double* p = &values[static_cast<size_t>(row) * lanes];
+  bool had = false;
+  for (size_t l = 0; l < lanes; ++l) had = had || p[l] != 0.0;
+  if (!had && v != 0.0) nonzero.push_back(row);
+  p[lane] = v;
+  if (v != 0.0) lane_mass[lane] = 1;
+}
+
+void BatchFrontier::ZeroLane(size_t lane) {
+  for (uint32_t row : nonzero) {
+    values[static_cast<size_t>(row) * lanes + lane] = 0.0;
+  }
+  lane_mass[lane] = 0;
 }
 
 void TransitionMatrix::AppendComputedRow(
@@ -194,10 +264,10 @@ void TransitionMatrix::PropagateParallel(const Frontier& in, Frontier& out,
     const size_t end = std::min(total, begin + chunk);
     auto& nz = nz_per_chunk[c];
     for (size_t row = begin; row < end; ++row) {
-      double sum = 0.0;
-      for (uint64_t i = t_row_ptr_[row]; i < t_row_ptr_[row + 1]; ++i) {
-        sum += in.values[t_cols_[i]] * t_vals_[i];
-      }
+      double sum;
+      const uint64_t rb = t_row_ptr_[row];
+      GatherRowD(1, t_cols_.data() + rb, t_vals_.data() + rb,
+                 t_row_ptr_[row + 1] - rb, in.values.data(), &sum);
       if (sum != 0.0) {
         out.values[row] = sum;
         nz.push_back(static_cast<uint32_t>(row));
@@ -247,10 +317,10 @@ void TransitionMatrix::PropagateAdaptive(const Frontier& in, Frontier& out,
     out.Clear();
     const size_t total = rows();
     for (size_t row = 0; row < total; ++row) {
-      double sum = 0.0;
-      for (uint64_t i = t_row_ptr_[row]; i < t_row_ptr_[row + 1]; ++i) {
-        sum += in.values[t_cols_[i]] * t_vals_[i];
-      }
+      double sum;
+      const uint64_t rb = t_row_ptr_[row];
+      GatherRowD(1, t_cols_.data() + rb, t_vals_.data() + rb,
+                 t_row_ptr_[row + 1] - rb, in.values.data(), &sum);
       if (sum != 0.0) {
         out.values[row] = sum;
         out.nonzero.push_back(static_cast<uint32_t>(row));
@@ -260,6 +330,144 @@ void TransitionMatrix::PropagateAdaptive(const Frontier& in, Frontier& out,
   }
   Propagate(in, out);
   std::sort(out.nonzero.begin(), out.nonzero.end());
+}
+
+void TransitionMatrix::PropagateBatchPush(const BatchFrontier& in,
+                                          BatchFrontier& out) const {
+  const size_t L = in.lanes;
+  out.Clear();
+  if (out.touch_epoch.size() != rows()) {
+    out.touch_epoch.assign(rows(), 0);
+    out.epoch = 0;
+  }
+  if (++out.epoch == 0) {  // epoch wrap: reset the marks once
+    std::fill(out.touch_epoch.begin(), out.touch_epoch.end(), 0);
+    out.epoch = 1;
+  }
+  const uint32_t e = out.epoch;
+  std::vector<uint32_t>& touched = out.nonzero;
+  for (uint32_t row : in.nonzero) {
+    const double* mass = &in.values[static_cast<size_t>(row) * L];
+    bool any = false;
+    for (size_t l = 0; l < L && !any; ++l) any = mass[l] != 0.0;
+    if (!any) continue;  // e.g. every lane holding this row dropped out
+    const uint64_t begin = row_ptr_[row], end = row_ptr_[row + 1];
+    for (uint64_t i = begin; i < end; ++i) {
+      const uint32_t col = cols_[i];
+      if (out.touch_epoch[col] != e) {
+        out.touch_epoch[col] = e;
+        touched.push_back(col);
+      }
+    }
+    ScatterRowD(L, cols_.data() + begin, vals_.data() + begin, end - begin,
+                mass, out.values.data());
+  }
+  std::sort(touched.begin(), touched.end());
+  // Keep only columns with some surviving lane value; flag lane
+  // survival while at it.
+  size_t w = 0;
+  for (uint32_t col : touched) {
+    const double* p = &out.values[static_cast<size_t>(col) * L];
+    bool any = false;
+    for (size_t l = 0; l < L; ++l) {
+      if (p[l] != 0.0) {
+        any = true;
+        out.lane_mass[l] = 1;
+      }
+    }
+    if (any) touched[w++] = col;
+  }
+  touched.resize(w);
+}
+
+void TransitionMatrix::PropagateBatchPull(const BatchFrontier& in,
+                                          BatchFrontier& out,
+                                          ThreadPool* pool) const {
+  const size_t L = in.lanes;
+  out.Clear();
+  const size_t total = rows();
+  const double* inv = in.values.data();
+  if (pool == nullptr) {
+    double acc[kMaxFrontierLanes];
+    for (size_t row = 0; row < total; ++row) {
+      const uint64_t begin = t_row_ptr_[row], end = t_row_ptr_[row + 1];
+      GatherRowD(L, t_cols_.data() + begin, t_vals_.data() + begin,
+                 end - begin, inv, acc);
+      bool any = false;
+      for (size_t l = 0; l < L; ++l) {
+        if (acc[l] != 0.0) {
+          any = true;
+          out.lane_mass[l] = 1;
+        }
+      }
+      if (any) {
+        std::copy(acc, acc + L, &out.values[row * L]);
+        out.nonzero.push_back(static_cast<uint32_t>(row));
+      }
+    }
+    return;
+  }
+  // Chunks are contiguous ascending row ranges (as in
+  // PropagateParallel), so the concatenated nonzero list stays sorted.
+  const size_t n_chunks = (pool->WorkerCount() + 1) * 4;
+  const size_t chunk = (total + n_chunks - 1) / n_chunks;
+  std::vector<std::vector<uint32_t>> nz_per_chunk(n_chunks);
+  std::vector<std::array<uint8_t, kMaxFrontierLanes>> mass_per_chunk(
+      n_chunks);
+  pool->ParallelFor(n_chunks, [&](size_t c) {
+    const size_t begin_row = c * chunk;
+    const size_t end_row = std::min(total, begin_row + chunk);
+    auto& nz = nz_per_chunk[c];
+    auto& lm = mass_per_chunk[c];
+    lm.fill(0);
+    double acc[kMaxFrontierLanes];
+    for (size_t row = begin_row; row < end_row; ++row) {
+      const uint64_t begin = t_row_ptr_[row], end = t_row_ptr_[row + 1];
+      GatherRowD(L, t_cols_.data() + begin, t_vals_.data() + begin,
+                 end - begin, inv, acc);
+      bool any = false;
+      for (size_t l = 0; l < L; ++l) {
+        if (acc[l] != 0.0) {
+          any = true;
+          lm[l] = 1;
+        }
+      }
+      if (any) {
+        std::copy(acc, acc + L, &out.values[row * L]);
+        nz.push_back(static_cast<uint32_t>(row));
+      }
+    }
+  });
+  for (size_t c = 0; c < n_chunks; ++c) {
+    out.nonzero.insert(out.nonzero.end(), nz_per_chunk[c].begin(),
+                       nz_per_chunk[c].end());
+    for (size_t l = 0; l < L; ++l) {
+      if (mass_per_chunk[c][l]) out.lane_mass[l] = 1;
+    }
+  }
+}
+
+void TransitionMatrix::PropagateBatchAdaptive(const BatchFrontier& in,
+                                              BatchFrontier& out,
+                                              ThreadPool* pool) const {
+  // Same crossover heuristic as PropagateAdaptive, measured on the
+  // union support. The verdict may differ from what any single lane
+  // would have chosen alone — harmless, because push and pull are
+  // bitwise-identical per lane (ascending source-row accumulation both
+  // ways).
+  const uint64_t touched_cut = nonzeros() / 4;
+  uint64_t touched = 0;
+  for (uint32_t row : in.nonzero) {
+    touched += row_ptr_[row + 1] - row_ptr_[row];
+    if (touched >= touched_cut) break;
+  }
+  const bool dense = touched >= touched_cut ||
+                     in.nonzero.size() * 4 >= rows();
+  if (dense) {
+    PropagateBatchPull(in, out, pool);
+  } else {
+    PropagateBatchPush(in, out);
+  }
 }
 
 double TransitionMatrix::RowSum(uint32_t row) const {

@@ -40,6 +40,45 @@ struct Frontier {
   double Sum() const;
 };
 
+// Hard cap on the lane count of a BatchFrontier (and hence on the
+// multi-seeker batch width): bounds the stack accumulators inside the
+// pull kernels.
+inline constexpr size_t kMaxFrontierLanes = 32;
+
+// Rounds a batch width up to a kernel-friendly lane count: 1, 2, 4 or
+// the next multiple of 4 (see pk::ScatterRow/GatherRow dispatch).
+inline constexpr size_t PadLanes(size_t b) {
+  if (b <= 2) return b < 1 ? 1 : b;
+  return (b + 3) / 4 * 4;
+}
+
+// L per-seeker frontiers in one dense SoA buffer: values[row*lanes + l]
+// is lane l's mass on `row` (the SpMM right-hand-side layout of
+// propagate_kernels.h). `nonzero` is the union support over lanes —
+// sorted ascending after every propagate step — while per-seeker
+// frontier exhaustion is tracked per lane in `lane_mass` (a lane can
+// die out while the union stays populated).
+struct BatchFrontier {
+  std::vector<double> values;      // total_rows * lanes
+  std::vector<uint32_t> nonzero;   // union over lanes
+  std::vector<uint8_t> lane_mass;  // lane has some nonzero value
+  size_t lanes = 0;
+
+  void Init(size_t total_rows, size_t n_lanes);
+  void Clear();
+  // Sets one lane's value (seeker seeding); keeps `nonzero` deduped
+  // even when two lanes share a row.
+  void Set(uint32_t row, size_t lane, double v);
+  // Zeroes one lane's column (a converged seeker drops out of the
+  // batch); the union support shrinks at the next propagate step.
+  void ZeroLane(size_t lane);
+  bool LaneHasMass(size_t lane) const { return lane_mass[lane] != 0; }
+
+  // First-touch scatter scratch for the push step (epoch-marked).
+  std::vector<uint32_t> touch_epoch;
+  uint32_t epoch = 0;
+};
+
 // CSR matrix over entity rows.
 class TransitionMatrix {
  public:
@@ -86,6 +125,19 @@ class TransitionMatrix {
   void PropagateAdaptive(const Frontier& in, Frontier& out,
                          ThreadPool* pool) const;
 
+  // Batched multi-seeker step: out = in · T on every lane at once —
+  // one CSR walk streams all lanes through the shared kernels
+  // (propagate_kernels.h; AVX2-dispatched when built in). Same push /
+  // pull density adaptation as PropagateAdaptive, measured on the
+  // union support. Each lane's values are bit-for-bit what a
+  // single-seeker PropagateAdaptive chain would produce for that lane
+  // alone: the lane dimension is element-wise, and push and pull both
+  // accumulate per output row in ascending source-row order.
+  // `out.nonzero` is left sorted and holds exactly the rows with some
+  // nonzero lane; `out.lane_mass` flags per-lane survival.
+  void PropagateBatchAdaptive(const BatchFrontier& in, BatchFrontier& out,
+                              ThreadPool* pool) const;
+
   // Normalization denominator D(n) for the row of entity `n` (0 if the
   // neighborhood has no outgoing edge).
   double Denominator(uint32_t row) const { return denom_[row]; }
@@ -129,6 +181,12 @@ class TransitionMatrix {
 
   // Rebuilds the transpose arrays from row_ptr_/cols_/vals_.
   void BuildTranspose();
+
+  // Push (sparse scatter) / pull (dense gather) halves of
+  // PropagateBatchAdaptive.
+  void PropagateBatchPush(const BatchFrontier& in, BatchFrontier& out) const;
+  void PropagateBatchPull(const BatchFrontier& in, BatchFrontier& out,
+                          ThreadPool* pool) const;
 
   std::vector<uint64_t> row_ptr_;
   std::vector<uint32_t> cols_;
