@@ -141,6 +141,37 @@ void BM_S3kQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_S3kQuery)->Arg(5)->Arg(10)->Arg(20);
 
+// Certified anytime search against the exact baseline: eps is the
+// requested certificate in thousandths (0 = exact mode — must match
+// BM_S3kQuery/20 since the eps=0 path is bit-for-bit the exact
+// search; 10 = 1%, 100 = 10%). The anytime exit stops the iteration
+// loop as soon as the remaining mass fits under (1+eps) times the
+// k-th lower bound, so larger eps trades certified slack for latency.
+void BM_S3kQueryAnytime(benchmark::State& state) {
+  auto& bi = SharedInstance();
+  core::S3kOptions opts;
+  opts.k = static_cast<size_t>(state.range(0));
+  const double eps = static_cast<double>(state.range(1)) / 1000.0;
+  core::S3kSearcher searcher(*bi.gen.instance, opts);
+  core::QueryOptions qopts;
+  if (eps > 0.0) {
+    qopts.mode = core::QueryMode::kAnytime;
+    qopts.epsilon_approx = eps;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& q = bi.qs.queries[i++ % bi.qs.queries.size()];
+    auto r = searcher.Search(
+        core::QueryRequest(q.seeker, q.keywords, qopts));
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_S3kQueryAnytime)
+    ->ArgNames({"k", "eps"})
+    ->Args({20, 0})
+    ->Args({20, 10})
+    ->Args({20, 100});
+
 // The batched hot path: 8 same-plan queries per iteration (the lcm of
 // the swept widths, so ns/op is directly comparable across batch
 // sizes), answered in ceil(8/batch) SearchBatchWithPlan passes. batch=1

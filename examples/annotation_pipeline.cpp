@@ -66,7 +66,7 @@ int main() {
   core::S3kSearcher searcher(inst, opts);
 
   auto show = [&](const char* label, KeywordId kw) {
-    core::Query q{alice, {kw}};
+    core::QueryRequest q(alice, {kw});
     core::SearchStats st;
     auto result = searcher.Search(q, &st);
     std::printf("%s:\n", label);

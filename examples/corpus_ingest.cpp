@@ -82,11 +82,13 @@ int main() {
               inst.docs().DocumentCount(), inst.docs().NodeCount(),
               inst.rdf_graph().size());
 
-  core::S3kOptions opts;
+  core::S3kSearcher searcher(inst, core::S3kOptions{});
+  // The result size rides on the request (QueryOptions::k overrides
+  // the searcher-wide default).
+  core::QueryOptions opts;
   opts.k = 4;
-  core::S3kSearcher searcher(inst, opts);
   for (const char* kw : {"degree", "qualification", "graduate"}) {
-    core::Query q{reader, {inst.InternKeyword(kw)}};
+    core::QueryRequest q(reader, {inst.InternKeyword(kw)}, opts);
     auto result = searcher.Search(q);
     std::printf("reader searches '%s':\n", kw);
     if (result.ok() && !result->empty()) {

@@ -65,9 +65,8 @@ void RunQuery(core::S3Instance& inst, const char* label) {
   core::S3kOptions opts;
   opts.k = 5;
   core::S3kSearcher searcher(inst, opts);
-  core::Query q;
-  q.seeker = 0;  // alice
-  q.keywords = {inst.vocabulary().Find("kubernetes")};
+  core::QueryRequest q(/*seeker=*/0 /* alice */,
+                       {inst.vocabulary().Find("kubernetes")});
   core::SearchStats st;
   auto result = searcher.Search(q, &st);
   std::printf("%s — alice searches 'kubernetes':\n", label);

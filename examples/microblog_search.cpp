@@ -82,11 +82,16 @@ int main() {
                                     spec);
   core::Query q = qs.queries[0];
   std::printf("=== personalization: same keyword, different seekers ===\n");
+  // Per-request options ride on the QueryRequest: here a certified
+  // anytime answer — stop as soon as nothing omitted can beat the
+  // worst returned tweet by more than 5%.
+  core::QueryOptions qopts;
+  qopts.mode = core::QueryMode::kAnytime;
+  qopts.epsilon_approx = 0.05;
   for (social::UserId seeker : {q.seeker, (q.seeker + 137) %
                                               (uint32_t)gen.instance->UserCount()}) {
-    core::Query qq = q;
-    qq.seeker = seeker;
-    auto result = searcher.Search(qq);
+    auto result = searcher.Search(
+        core::QueryRequest(seeker, q.keywords, qopts));
     std::printf("seeker %s:",
                 gen.instance->users()[seeker].uri.c_str());
     if (result.ok()) {

@@ -16,6 +16,9 @@
 #include "core/s3k.h"
 
 using s3::core::Query;
+using s3::core::QueryMode;
+using s3::core::QueryOptions;
+using s3::core::QueryRequest;
 using s3::core::ResultEntry;
 using s3::core::S3Instance;
 using s3::core::S3kOptions;
@@ -106,5 +109,24 @@ int main() {
   q2.seeker = u1;
   q2.keywords = {inst.InternKeyword("university")};
   run("u1 searches 'university' (tag match)", q2, true);
+
+  // ---- Per-request options: the same search as a certified anytime
+  // request. QueryOptions override the service defaults for this one
+  // query: k, a (1+eps) certificate, an optional deadline. eps = 0.1
+  // lets the engine stop as soon as it can prove no omitted document
+  // beats the worst returned one by more than 10%; the achieved
+  // certificate comes back in SearchStats::certified_epsilon.
+  QueryOptions anytime;
+  anytime.mode = QueryMode::kAnytime;
+  anytime.epsilon_approx = 0.1;
+  anytime.k = 3;
+  SearchStats stats;
+  auto approx =
+      searcher.Search(QueryRequest(u1, q.keywords, anytime), &stats);
+  if (approx.ok()) {
+    std::printf("anytime 'degree' (eps<=0.1): %zu results, achieved "
+                "eps=%.2e, %zu iterations\n",
+                approx->size(), stats.certified_epsilon, stats.iterations);
+  }
   return 0;
 }

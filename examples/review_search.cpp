@@ -57,7 +57,7 @@ int main() {
                 gen.instance->vocabulary().Spelling(q.keywords[0]).c_str());
 
     core::SearchStats st;
-    auto rs = s3k.Search(q, &st);
+    auto rs = s3k.Search(core::QueryRequest(q), &st);
     std::printf("  S3k  :");
     std::vector<uint64_t> s3k_items;
     if (rs.ok()) {

@@ -78,7 +78,9 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "instance ready: %zu users, %zu docs, %zu tags\n"
-               "query format: <seeker-uri> <keyword> [keyword...]\n",
+               "query format: <seeker-uri> <keyword> [keyword...]\n"
+               ":eps <value> sets a certified anytime slack for later "
+               "queries (0 = exact)\n",
                inst->UserCount(), inst->docs().DocumentCount(),
                inst->TagCount());
 
@@ -90,6 +92,9 @@ int main(int argc, char** argv) {
   opts.k = 5;
   core::S3kSearcher searcher(*inst, opts);
 
+  // Session-wide per-request options, adjusted with ":eps <value>".
+  core::QueryOptions qopts;
+
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
@@ -100,6 +105,19 @@ int main(int argc, char** argv) {
     std::istringstream in(line);
     std::string seeker_uri;
     in >> seeker_uri;
+    if (seeker_uri == ":eps") {
+      double eps = 0.0;
+      if (!(in >> eps) || eps < 0.0) {
+        std::printf("! usage: :eps <non-negative value>\n");
+        continue;
+      }
+      qopts.epsilon_approx = eps;
+      qopts.mode = eps > 0.0 ? core::QueryMode::kAnytime
+                             : core::QueryMode::kExact;
+      std::printf("-- eps=%g (%s)\n", eps,
+                  eps > 0.0 ? "certified anytime" : "exact");
+      continue;
+    }
     auto user_it = user_of.find(seeker_uri);
     if (user_it == user_of.end()) {
       std::printf("! unknown user '%s'\n", seeker_uri.c_str());
@@ -125,7 +143,8 @@ int main(int argc, char** argv) {
     if (q.keywords.empty()) continue;
 
     core::SearchStats st;
-    auto result = searcher.Search(q, &st);
+    auto result = searcher.Search(
+        core::QueryRequest(q.seeker, q.keywords, qopts), &st);
     if (!result.ok()) {
       std::printf("! %s\n", result.status().ToString().c_str());
       continue;
@@ -135,10 +154,11 @@ int main(int argc, char** argv) {
       std::printf("%-24s [%.6f, %.6f]\n",
                   inst->docs().Uri(r.node).c_str(), r.lower, r.upper);
     }
-    std::printf("-- %zu candidates, %zu iterations, %.2f ms%s\n",
+    std::printf("-- %zu candidates, %zu iterations, %.2f ms, "
+                "certified eps=%.2e%s\n",
                 st.candidates_total, st.iterations,
-                st.elapsed_seconds * 1e3,
-                st.converged ? "" : " (anytime)");
+                st.elapsed_seconds * 1e3, st.certified_epsilon,
+                st.converged ? "" : " (truncated)");
   }
   return 0;
 }

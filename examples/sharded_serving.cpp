@@ -61,11 +61,27 @@ int main() {
                 e.upper);
   }
 
-  // Scatter-gather: same answer, with per-shard pruning visible.
+  // Scatter-gather: same answer, with per-shard pruning visible and a
+  // global certificate folded from every shard's bound exports.
   auto global = (*router)->QueryGlobal(q);
   if (!global.ok()) return 1;
-  std::printf("scatter-gather: %zu shards queried, %zu pruned\n",
-              global->shards_queried, global->shards_pruned);
+  std::printf("scatter-gather: %zu shards queried, %zu pruned, "
+              "certified eps=%.2e\n",
+              global->shards_queried, global->shards_pruned,
+              global->certified_epsilon);
+
+  // Per-request options flow through the router verbatim: a certified
+  // anytime request may stop each shard's search early, and the merge
+  // reports the achieved global certificate.
+  core::QueryOptions anytime;
+  anytime.mode = core::QueryMode::kAnytime;
+  anytime.epsilon_approx = 0.1;
+  auto approx =
+      (*router)->QueryGlobal(core::QueryRequest(0, {coffee}, anytime));
+  if (!approx.ok()) return 1;
+  std::printf("anytime scatter-gather (eps<=0.1): %zu results, "
+              "achieved eps=%.2e\n",
+              approx->entries.size(), approx->certified_epsilon);
 
   // Live update: a new post by user 1 reaches only its group's shards.
   auto update = (*router)->BeginUpdate();

@@ -43,6 +43,39 @@ void ResetFrontier(social::BatchFrontier& f, size_t total_rows,
 
 }  // namespace
 
+Status QueryOptions::Validate() const {
+  if (!std::isfinite(epsilon_approx) || epsilon_approx < 0.0) {
+    return Status::InvalidArgument(
+        "epsilon_approx must be finite and non-negative");
+  }
+  if (epsilon_approx > 0.0 && mode != QueryMode::kAnytime) {
+    return Status::InvalidArgument(
+        "epsilon_approx > 0 requires mode = kAnytime");
+  }
+  if (!std::isfinite(deadline_seconds) || deadline_seconds < 0.0) {
+    return Status::InvalidArgument(
+        "deadline_seconds must be finite and non-negative");
+  }
+  return Status::OK();
+}
+
+BatchSeeker ResolveLane(const QueryRequest& request,
+                        const S3kOptions& defaults) {
+  BatchSeeker lane;
+  lane.seeker = request.seeker;
+  lane.k = request.options.k > 0 ? request.options.k : defaults.k;
+  lane.epsilon_approx = request.options.mode == QueryMode::kAnytime
+                            ? request.options.epsilon_approx
+                            : 0.0;
+  // Deprecated-alias mapping: a request without its own deadline
+  // inherits S3kOptions::time_budget_seconds, so legacy budget-based
+  // deployments behave identically through the new surface.
+  lane.deadline_seconds = request.options.deadline_seconds > 0.0
+                              ? request.options.deadline_seconds
+                              : defaults.time_budget_seconds;
+  return lane;
+}
+
 Result<CandidatePlan> BuildCandidatePlan(
     const S3Instance& instance, const std::vector<KeywordId>& keywords,
     bool use_semantics, double eta, ThreadPool* pool) {
@@ -115,8 +148,8 @@ S3kSearcher::S3kSearcher(const S3Instance& instance, S3kOptions options)
   }
 }
 
-Result<std::vector<ResultEntry>> S3kSearcher::Search(const Query& query,
-                                                     SearchStats* stats) {
+Result<std::vector<ResultEntry>> S3kSearcher::Search(
+    const QueryRequest& query, SearchStats* stats) {
   WallTimer timer;
   // Reject an unknown seeker before paying for candidate construction.
   if (instance_.finalized() && query.seeker >= instance_.UserCount()) {
@@ -135,12 +168,13 @@ Result<std::vector<ResultEntry>> S3kSearcher::Search(const Query& query,
 }
 
 Result<std::vector<ResultEntry>> S3kSearcher::SearchWithPlan(
-    const Query& query, const CandidatePlan& plan, SearchStats* stats) {
+    const QueryRequest& query, const CandidatePlan& plan,
+    SearchStats* stats) {
+  S3_RETURN_IF_ERROR(query.options.Validate());
   // The single-seeker search *is* the batched search at width 1: one
   // loop, one set of invariants, and the per-query tests exercise the
   // exact code the batched server path runs.
-  auto batched =
-      SearchBatchWithPlan({BatchSeeker{query.seeker, options_.k}}, plan);
+  auto batched = SearchBatchWithPlan({ResolveLane(query, options_)}, plan);
   if (!batched.ok()) return batched.status();
   if (stats != nullptr) *stats = std::move((*batched)[0].stats);
   return std::move((*batched)[0].entries);
@@ -160,6 +194,14 @@ Result<std::vector<BatchQueryResult>> S3kSearcher::SearchBatchWithPlan(
   for (const BatchSeeker& bs : batch) {
     if (bs.seeker >= instance_.UserCount()) {
       return Status::InvalidArgument("unknown seeker");
+    }
+    if (!std::isfinite(bs.epsilon_approx) || bs.epsilon_approx < 0.0) {
+      return Status::InvalidArgument(
+          "epsilon_approx must be finite and non-negative");
+    }
+    if (!std::isfinite(bs.deadline_seconds) || bs.deadline_seconds < 0.0) {
+      return Status::InvalidArgument(
+          "deadline_seconds must be finite and non-negative");
     }
   }
   if (plan.n_keywords() == 0) {
@@ -195,6 +237,19 @@ Result<std::vector<BatchQueryResult>> S3kSearcher::SearchBatchWithPlan(
 
   std::vector<BatchQueryResult> out(B);
   std::vector<size_t> ks(B);
+  // Per-lane anytime parameters. A zero deadline inherits the
+  // deprecated options_.time_budget_seconds (the alias mapping), so
+  // the legacy global budget and a per-request deadline are one
+  // mechanism; eps == 0 lanes never touch the anytime exit at all.
+  std::vector<double> lane_eps(B), lane_deadline(B);
+  bool any_deadline = false;
+  for (size_t s = 0; s < B; ++s) {
+    lane_eps[s] = batch[s].epsilon_approx;
+    lane_deadline[s] = batch[s].deadline_seconds > 0.0
+                           ? batch[s].deadline_seconds
+                           : options_.time_budget_seconds;
+    any_deadline = any_deadline || lane_deadline[s] > 0.0;
+  }
   for (size_t s = 0; s < B; ++s) {
     ks[s] = batch[s].k > 0 ? batch[s].k : options_.k;
     SearchStats& st = out[s].stats;
@@ -292,6 +347,23 @@ Result<std::vector<BatchQueryResult>> S3kSearcher::SearchBatchWithPlan(
         st.remaining_upper =
             std::max(st.remaining_upper, engine.upper(ci, s));
       }
+    }
+    // The achieved certificate: the smallest eps for which the bounds
+    // prove no omitted document beats the worst returned one by more
+    // than (1+eps). The exact stop's *absolute* slack criterion
+    // (remaining <= kth + epsilon tie-break) certifies 0 outright —
+    // without it a converged answer whose kth lower bound is 0 would
+    // report infinity off a ~1e-12 remainder. Otherwise an anytime
+    // exit lands at <= the requested epsilon and a truncated search
+    // reports whatever its bounds support (infinity when kth_lower is
+    // 0 with mass still unaccounted for).
+    if (st.remaining_upper <= st.kth_lower + options_.epsilon) {
+      st.certified_epsilon = 0.0;
+    } else if (st.kth_lower > 0.0) {
+      st.certified_epsilon =
+          std::max(0.0, st.remaining_upper / st.kth_lower - 1.0);
+    } else {
+      st.certified_epsilon = std::numeric_limits<double>::infinity();
     }
     st.components_discovered = n_discovered[s];
     st.elapsed_seconds = timer.ElapsedSeconds();
@@ -471,11 +543,62 @@ Result<std::vector<BatchQueryResult>> S3kSearcher::SearchBatchWithPlan(
         finish_lane(s, engine.GreedyTopK(order, k_s, s));
         continue;
       }
+
+      // Certified (1-eps) anytime exit (QueryMode::kAnytime): once the
+      // best (up to) k candidates are held and everything else — alive
+      // non-picked uppers and the undiscovered-component threshold —
+      // fits under (1+eps) times the worst picked lower bound, the
+      // current answer is a certified (1-eps)-approximation: no
+      // omitted (or still undiscovered — the threshold covers those)
+      // document beats the worst returned one by more than (1+eps).
+      // Strictly after the exact checks and gated on eps > 0, so an
+      // exact request runs the unmodified code path bit-for-bit. No
+      // epsilon slack here: the comparison is what finish_lane's
+      // achieved certificate re-derives, keeping certified_epsilon
+      // <= eps.
+      if (lane_eps[s] > 0.0 && !order.empty()) {
+        const size_t want = std::min(k_s, order.size());
+        std::vector<uint32_t> picked = engine.GreedyTopK(order, want, s);
+        if (picked.size() == want) {
+          double min_lower = std::numeric_limits<double>::infinity();
+          for (uint32_t ci : picked) {
+            min_lower = std::min(min_lower, engine.lower(ci, s));
+          }
+          double rem = threshold;
+          for (uint32_t ci : order) {
+            bool taken = false;  // picked is tiny (== k): linear scan
+            for (uint32_t p : picked) {
+              if (p == ci) { taken = true; break; }
+            }
+            if (!taken) rem = std::max(rem, engine.upper(ci, s));
+          }
+          if (rem <= (1.0 + lane_eps[s]) * min_lower) {
+            out[s].stats.converged = true;
+            finish_lane(s, picked);
+            continue;
+          }
+        }
+      }
     }
 
-    if (options_.time_budget_seconds > 0.0 &&
-        timer.ElapsedSeconds() >= options_.time_budget_seconds) {
-      break;  // anytime termination on budget exhaustion
+    // Per-lane deadline probe (anytime termination, paper §4.1): an
+    // expired lane finishes with the best k known now — converged
+    // stays false, deadline_exceeded marks the truncation — and drops
+    // out of the batch; lanes with slack keep iterating. Probed once
+    // per iteration: deadlines bound iterations, not instructions.
+    // With every lane on the legacy time_budget_seconds this finishes
+    // exactly the lanes the old global break abandoned, at the same
+    // point, with the same GreedyTopK pick.
+    if (any_deadline && live > 0) {
+      const double elapsed = timer.ElapsedSeconds();
+      for (size_t s = 0; s < B; ++s) {
+        if (finished[s] || lane_deadline[s] <= 0.0 ||
+            elapsed < lane_deadline[s]) {
+          continue;
+        }
+        out[s].stats.deadline_exceeded = true;
+        finish_lane(s, engine.GreedyTopK(orders_[s], ks[s], s));
+      }
     }
   }
 

@@ -26,9 +26,68 @@
 namespace s3::core {
 
 // A keyword query (paper Definition 3.1): a seeker and a keyword set.
+// Legacy surface: QueryRequest (below) is the per-request API; a bare
+// Query converts implicitly to a QueryRequest with default options
+// (exact search, service-level k), so pre-existing call sites keep
+// compiling unchanged.
 struct Query {
   social::UserId seeker = 0;
   std::vector<KeywordId> keywords;
+};
+
+// How a request wants its answer terminated.
+enum class QueryMode : uint8_t {
+  // Run to the paper's threshold-based stop condition: the returned
+  // top-k is provably the exact answer (modulo the engine's epsilon
+  // tie-break slack).
+  kExact = 0,
+  // Certified (1-epsilon)-approximate: the search may stop as soon as
+  //   remaining_upper <= (1 + epsilon_approx) * kth_lower,
+  // i.e. no omitted document can beat the worst returned one by more
+  // than a (1+epsilon) factor. The *achieved* certificate is reported
+  // in SearchStats::certified_epsilon; with epsilon_approx = 0 the
+  // anytime path is never taken and results are bit-for-bit the exact
+  // search.
+  kAnytime = 1,
+};
+
+// Per-request overrides riding on a QueryRequest. Everything here is
+// resolved against the serving defaults (S3kOptions) at search time;
+// zero values mean "inherit".
+struct QueryOptions {
+  // Result size; 0 inherits the searcher/service default (S3kOptions::k).
+  size_t k = 0;
+  // Certified approximation slack (kAnytime only; see QueryMode).
+  double epsilon_approx = 0.0;
+  // Wall-clock deadline for the *search* (queue wait excluded), in
+  // seconds; 0 inherits the deprecated S3kOptions::time_budget_seconds
+  // (normally: no deadline). An expired search returns the best k
+  // found so far with SearchStats::deadline_exceeded set — in both
+  // modes, matching the legacy anytime-budget behavior.
+  double deadline_seconds = 0.0;
+  QueryMode mode = QueryMode::kExact;
+
+  // InvalidArgument on non-finite / negative epsilon or deadline, or
+  // epsilon_approx > 0 outside kAnytime.
+  Status Validate() const;
+};
+
+// The per-request query surface: a seeker, a keyword set, and the
+// options the caller wants *this* query answered under. Flows
+// uniformly through S3kSearcher, server::QueryService and
+// shard::ShardRouter.
+struct QueryRequest {
+  social::UserId seeker = 0;
+  std::vector<KeywordId> keywords;
+  QueryOptions options;
+
+  QueryRequest() = default;
+  QueryRequest(social::UserId s, std::vector<KeywordId> kw,
+               QueryOptions opts = {})
+      : seeker(s), keywords(std::move(kw)), options(opts) {}
+  // Legacy adapter: a bare Query is an exact request with defaults.
+  QueryRequest(const Query& q)  // NOLINT(google-explicit-constructor)
+      : seeker(q.seeker), keywords(q.keywords) {}
 };
 
 struct S3kOptions {
@@ -47,9 +106,11 @@ struct S3kOptions {
   // Worker threads for candidate building and bound refresh (§5.2
   // reports a ~2x speed-up with 8 threads).
   unsigned threads = 1;
-  // Anytime termination (paper §4.1): stop after this wall-clock
-  // budget and return the best k candidates by current upper bound.
-  // 0 disables the budget.
+  // DEPRECATED: use QueryOptions::deadline_seconds. Kept as an alias
+  // so pre-QueryRequest deployments keep their anytime budget: a
+  // request (or batch member) without its own deadline inherits this
+  // value — ResolveLane / the engine's per-lane probe map it over, so
+  // the two spellings cannot diverge. 0 disables the budget.
   double time_budget_seconds = 0.0;
 };
 
@@ -121,6 +182,20 @@ struct SearchStats {
   // k-th lower bound.
   double kth_lower = 0.0;
   double remaining_upper = 0.0;
+  // The *achieved* certificate at termination: the smallest eps for
+  // which "no omitted document beats the worst returned one by more
+  // than (1+eps)" is provable from the bounds. 0 when the exact
+  // stop's absolute slack holds (remaining_upper <= kth_lower +
+  // S3kOptions::epsilon), else max(0, remaining_upper/kth_lower - 1).
+  // Exact converged searches report 0; an anytime exit reports a
+  // value <= the requested epsilon_approx (modulo one ulp of the
+  // comparison); a deadline/iteration-capped search reports whatever
+  // the bounds support — infinity when nothing is certifiable
+  // (kth_lower == 0 with mass still undiscovered).
+  double certified_epsilon = 0.0;
+  // The lane's deadline (QueryOptions::deadline_seconds, or the legacy
+  // time_budget_seconds) expired before convergence.
+  bool deadline_exceeded = false;
   // All candidate documents of passing components (the candidate
   // universe used by the Fig. 8 quality metrics).
   std::vector<doc::NodeId> candidate_nodes;
@@ -128,11 +203,25 @@ struct SearchStats {
 
 // One member of a multi-seeker batch. `k == 0` means "use the
 // searcher's options().k"; a per-member k lets same-keyword queries
-// with different result sizes share one batch.
+// with different result sizes share one batch. epsilon_approx and
+// deadline_seconds carry per-member QueryOptions through the lane
+// machinery (0 = exact / inherit the legacy budget), so members with
+// different certificates or deadlines still share one batch — an
+// early-exiting lane drops out exactly like a converged one.
 struct BatchSeeker {
   social::UserId seeker = 0;
   size_t k = 0;
+  double epsilon_approx = 0.0;
+  double deadline_seconds = 0.0;
 };
+
+// The effective per-lane parameters of `request` against the serving
+// defaults: k == 0 inherits defaults.k, epsilon_approx applies only in
+// kAnytime mode, and a zero deadline inherits the deprecated
+// defaults.time_budget_seconds (the alias mapping with a single source
+// of truth).
+BatchSeeker ResolveLane(const QueryRequest& request,
+                        const S3kOptions& defaults);
 
 // Per-member result of a batched search: exactly what SearchWithPlan
 // plus its SearchStats out-param would have produced for that member
@@ -159,18 +248,21 @@ class S3kSearcher {
   // `instance` must outlive the searcher and be finalized.
   S3kSearcher(const S3Instance& instance, S3kOptions options);
 
-  // Runs the query; returns the top-k (possibly fewer if the instance
-  // has fewer matching neighbor-free documents). Builds the candidate
-  // plan itself — equivalent to BuildCandidatePlan + SearchWithPlan.
-  Result<std::vector<ResultEntry>> Search(const Query& query,
+  // Runs the request; returns the top-k (possibly fewer if the
+  // instance has fewer matching neighbor-free documents). Builds the
+  // candidate plan itself — equivalent to BuildCandidatePlan +
+  // SearchWithPlan. Takes any QueryRequest (a bare core::Query
+  // converts to an exact request with default options).
+  Result<std::vector<ResultEntry>> Search(const QueryRequest& query,
                                           SearchStats* stats = nullptr);
 
   // Runs the exploration loop over a prebuilt (possibly shared/cached)
   // plan. The plan must have been built over this searcher's instance
-  // with the same use_semantics / eta; only `query.seeker` is read —
-  // the plan's keyword slots stand in for `query.keywords` (any
-  // permutation of the plan's keyword multiset scores identically).
-  Result<std::vector<ResultEntry>> SearchWithPlan(const Query& query,
+  // with the same use_semantics / eta; only `query.seeker` and
+  // `query.options` are read — the plan's keyword slots stand in for
+  // `query.keywords` (any permutation of the plan's keyword multiset
+  // scores identically).
+  Result<std::vector<ResultEntry>> SearchWithPlan(const QueryRequest& query,
                                                   const CandidatePlan& plan,
                                                   SearchStats* stats = nullptr);
 
@@ -181,7 +273,10 @@ class S3kSearcher {
   // SearchWithPlan per member: lanes are arithmetically independent,
   // and a converged member drops out of the batch (its frontier lane
   // is zeroed) without perturbing the others. Batch size must be in
-  // [1, kMaxBatch]; members may repeat seekers and mix k values.
+  // [1, kMaxBatch]; members may repeat seekers and mix k values,
+  // epsilon certificates and deadlines (per-lane anytime exits and
+  // deadline expiry use the same dropout machinery as convergence, so
+  // mixed-options batches stay bit-for-bit equal to solo runs).
   // SearchWithPlan is this with a batch of one.
   Result<std::vector<BatchQueryResult>> SearchBatchWithPlan(
       const std::vector<BatchSeeker>& batch, const CandidatePlan& plan);

@@ -62,8 +62,25 @@ std::string FormatSnapshot(const LatencySnapshot& s) {
   return buf;
 }
 
+size_t CertifiedEpsilonBucket(double eps) {
+  // NaN (never produced by the engine, but callers may synthesize) is
+  // "uncertified" — the overflow bucket, like infinity.
+  if (!(eps <= 1e-1)) return 5;
+  if (eps <= 1e-9) return 0;
+  if (eps <= 1e-6) return 1;
+  if (eps <= 1e-3) return 2;
+  if (eps <= 1e-2) return 3;
+  return 4;
+}
+
+const char* CertifiedEpsilonBucketLabel(size_t bucket) {
+  static const char* kLabels[ServiceCounters::kEpsBuckets] = {
+      "<=1e-9", "<=1e-6", "<=1e-3", "<=1e-2", "<=1e-1", ">1e-1"};
+  return bucket < ServiceCounters::kEpsBuckets ? kLabels[bucket] : "?";
+}
+
 std::string FormatCounters(const ServiceCounters& c) {
-  char buf[224];
+  char buf[448];
   int n = 0;
   if (c.cache_hits + c.cache_misses == 0) {
     n = std::snprintf(buf, sizeof(buf), "rejected=%llu cache=off",
@@ -77,12 +94,27 @@ std::string FormatCounters(const ServiceCounters& c) {
                                                       c.cache_misses),
                       c.CacheHitRate() * 100.0);
   }
-  if (c.batches_executed > 0 && n > 0 &&
-      static_cast<size_t>(n) < sizeof(buf)) {
-    std::snprintf(buf + n, sizeof(buf) - n, " batched=%llu/%llu (%.1f avg)",
-                  static_cast<unsigned long long>(c.batched_queries),
-                  static_cast<unsigned long long>(c.batches_executed),
-                  c.MeanBatchWidth());
+  auto append = [&](const char* fmt, auto... args) {
+    if (n > 0 && static_cast<size_t>(n) < sizeof(buf)) {
+      const int wrote = std::snprintf(buf + n, sizeof(buf) - n, fmt, args...);
+      if (wrote > 0) n += wrote;
+    }
+  };
+  if (c.batches_executed > 0) {
+    append(" batched=%llu/%llu (%.1f avg)",
+           static_cast<unsigned long long>(c.batched_queries),
+           static_cast<unsigned long long>(c.batches_executed),
+           c.MeanBatchWidth());
+  }
+  if (c.anytime_queries > 0 || c.deadline_exceeded > 0) {
+    append(" anytime=%llu deadline_exceeded=%llu",
+           static_cast<unsigned long long>(c.anytime_queries),
+           static_cast<unsigned long long>(c.deadline_exceeded));
+    for (size_t b = 0; b < ServiceCounters::kEpsBuckets; ++b) {
+      if (c.certified_eps_hist[b] == 0) continue;
+      append(" eps[%s]=%llu", CertifiedEpsilonBucketLabel(b),
+             static_cast<unsigned long long>(c.certified_eps_hist[b]));
+    }
   }
   return buf;
 }

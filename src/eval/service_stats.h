@@ -10,7 +10,9 @@
 #ifndef S3_EVAL_SERVICE_STATS_H_
 #define S3_EVAL_SERVICE_STATS_H_
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -87,6 +89,18 @@ struct ServiceCounters {
   // of the batches that actually amortized work.
   uint64_t batched_queries = 0;
   uint64_t batches_executed = 0;
+  // Anytime serving (core::QueryMode::kAnytime): completed requests
+  // that asked for a certified (1-eps) answer, and completed requests
+  // (either mode) whose search deadline expired before convergence.
+  uint64_t anytime_queries = 0;
+  uint64_t deadline_exceeded = 0;
+  // Histogram of the *achieved* certificate
+  // (SearchStats::certified_epsilon) over every completed query;
+  // bucket bounds via CertifiedEpsilonBucket below. Exact converged
+  // answers land in the leftmost buckets, deadline-truncated searches
+  // drift right (the last bucket includes uncertified/infinity).
+  static constexpr size_t kEpsBuckets = 6;
+  std::array<uint64_t, kEpsBuckets> certified_eps_hist{};
 
   double CacheHitRate() const {
     const uint64_t total = cache_hits + cache_misses;
@@ -100,9 +114,22 @@ struct ServiceCounters {
   }
 };
 
-// e.g. "rejected=12 cache=873/1024 (85.3% hit) batched=96/24 (4.0 avg)";
+// Bucket index of an achieved certificate for
+// ServiceCounters::certified_eps_hist. Bounds (inclusive uppers):
+//   0: <= 1e-9 (exact)   1: <= 1e-6   2: <= 1e-3
+//   3: <= 1e-2           4: <= 1e-1   5: > 1e-1 (incl. infinity)
+size_t CertifiedEpsilonBucket(double eps);
+
+// Human-readable label of a certified_eps_hist bucket, e.g. "<=1e-6".
+const char* CertifiedEpsilonBucketLabel(size_t bucket);
+
+// e.g. "rejected=12 cache=873/1024 (85.3% hit) batched=96/24 (4.0 avg)
+// anytime=64 deadline_exceeded=2 eps[<=1e-9]=120 eps[<=1e-2]=64";
 // cache part reads "cache=off" when the service runs without one (both
-// counters zero); the batched part is omitted when no batch ever formed.
+// counters zero); the batched part is omitted when no batch ever
+// formed; the anytime part (counters + the non-empty histogram
+// buckets) is omitted until an anytime query or a deadline expiry is
+// seen.
 std::string FormatCounters(const ServiceCounters& c);
 
 }  // namespace s3::eval

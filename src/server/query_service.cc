@@ -44,10 +44,14 @@ QueryService::QueryService(std::shared_ptr<const core::S3Instance> snapshot,
 QueryService::~QueryService() { Shutdown(); }
 
 Status QueryService::ValidateQuery(const core::S3Instance& snapshot,
-                                   const core::Query& query) const {
+                                   const core::QueryRequest& query) const {
   if (!snapshot.finalized()) {
     return Status::FailedPrecondition("snapshot not finalized");
   }
+  // Per-request overrides are untrusted caller input like everything
+  // else: a NaN deadline or an epsilon outside kAnytime must fail at
+  // admission, not surface from a worker mid-batch.
+  S3_RETURN_IF_ERROR(query.options.Validate());
   if (query.seeker >= snapshot.UserCount()) {
     return Status::InvalidArgument("unknown seeker");
   }
@@ -111,7 +115,8 @@ Status QueryService::SwapSnapshot(
   return Status::OK();
 }
 
-Result<QueryFuture> QueryService::Admit(core::Query query, bool blocking) {
+Result<QueryFuture> QueryService::Admit(core::QueryRequest query,
+                                        bool blocking) {
   if (shutdown_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("service is shut down");
   }
@@ -142,16 +147,28 @@ Result<QueryFuture> QueryService::Admit(core::Query query, bool blocking) {
   return future;
 }
 
-Result<QueryFuture> QueryService::Submit(core::Query query) {
+Result<QueryFuture> QueryService::Submit(core::QueryRequest query) {
   return Admit(std::move(query), /*blocking=*/false);
 }
 
-Result<QueryFuture> QueryService::SubmitBlocking(core::Query query) {
+Result<QueryFuture> QueryService::SubmitBlocking(core::QueryRequest query) {
   return Admit(std::move(query), /*blocking=*/true);
 }
 
+void QueryService::RecordOutcome(const core::QueryRequest& query,
+                                 const core::SearchStats& stats) {
+  if (query.options.mode == core::QueryMode::kAnytime) {
+    anytime_queries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (stats.deadline_exceeded) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  eps_hist_[eval::CertifiedEpsilonBucket(stats.certified_epsilon)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
 Result<std::shared_ptr<const core::CandidatePlan>> QueryService::ResolvePlan(
-    const core::S3Instance& snapshot, const core::Query& query,
+    const core::S3Instance& snapshot, const core::QueryRequest& query,
     ThreadPool* pool, bool* cache_hit) {
   *cache_hit = false;
   const bool use_semantics = options_.search.use_semantics;
@@ -218,8 +235,12 @@ void QueryService::WorkerLoop() {
     // to batch_window - 1 queued queries over the same keyword
     // multiset (⇒ same plan: use_semantics/eta are service-wide and
     // the snapshot is bound once above — a batch can never span a
-    // SwapSnapshot generation). Only consecutive head-of-queue matches
-    // are taken, so non-matching queries are never reordered past.
+    // SwapSnapshot generation). Per-request options are *not* part of
+    // the compatibility check: k/epsilon/deadline/mode ride as
+    // per-lane BatchSeeker parameters, so an anytime request batches
+    // with exact ones without perturbing them. Only consecutive
+    // head-of-queue matches are taken, so non-matching queries are
+    // never reordered past.
     std::vector<Task> followers;
     std::vector<double> follower_queue_secs;  // stamped at drain time
     const size_t window =
@@ -248,6 +269,9 @@ void QueryService::WorkerLoop() {
         continue;
       }
       response.entries = std::move(*result);
+      response.certified_epsilon = response.stats.certified_epsilon;
+      response.deadline_exceeded = response.stats.deadline_exceeded;
+      RecordOutcome(task.query, response.stats);
       response.total_seconds = task.timer.ElapsedSeconds();
       latency_.Add(response.total_seconds);
       completed_.fetch_add(1, std::memory_order_relaxed);
@@ -265,7 +289,10 @@ void QueryService::WorkerLoop() {
     for (Task& f : followers) tasks.push_back(std::move(f));
     std::vector<core::BatchSeeker> batch(tasks.size());
     for (size_t i = 0; i < tasks.size(); ++i) {
-      batch[i].seeker = tasks[i].query.seeker;
+      // Each member's QueryOptions become its lane parameters (k,
+      // certificate, deadline) — resolved against the service search
+      // defaults exactly like a solo SearchWithPlan would.
+      batch[i] = core::ResolveLane(tasks[i].query, options_.search);
     }
     auto batched = searcher->SearchBatchWithPlan(batch, **plan);
     if (!batched.ok()) {
@@ -287,6 +314,9 @@ void QueryService::WorkerLoop() {
           i == 0 ? response.queue_seconds : follower_queue_secs[i - 1];
       r.entries = std::move((*batched)[i].entries);
       r.stats = std::move((*batched)[i].stats);
+      r.certified_epsilon = r.stats.certified_epsilon;
+      r.deadline_exceeded = r.stats.deadline_exceeded;
+      RecordOutcome(tasks[i].query, r.stats);
       r.total_seconds = tasks[i].timer.ElapsedSeconds();
       latency_.Add(r.total_seconds);
       completed_.fetch_add(1, std::memory_order_relaxed);
@@ -317,6 +347,11 @@ QueryServiceStats QueryService::Stats() const {
   out.failed = failed_.load(std::memory_order_relaxed);
   out.batched_queries = batched_queries_.load(std::memory_order_relaxed);
   out.batches_executed = batches_executed_.load(std::memory_order_relaxed);
+  out.anytime_queries = anytime_queries_.load(std::memory_order_relaxed);
+  out.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  for (size_t b = 0; b < eval::ServiceCounters::kEpsBuckets; ++b) {
+    out.certified_eps_hist[b] = eps_hist_[b].load(std::memory_order_relaxed);
+  }
   if (cache_ != nullptr) {
     const ProximityCacheStats cache = cache_->Stats();
     out.cache_hits = cache.hits;

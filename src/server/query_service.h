@@ -41,6 +41,7 @@
 #ifndef S3_SERVER_QUERY_SERVICE_H_
 #define S3_SERVER_QUERY_SERVICE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <future>
@@ -76,10 +77,13 @@ struct QueryServiceOptions {
   // keyword multiset (same plan-cache key: sorted keywords —
   // use_semantics/eta are service-wide and the snapshot is bound once
   // per batch) and answers the whole run in one
-  // S3kSearcher::SearchBatchWithPlan pass. Results are bit-for-bit what
-  // each query would get alone; only latency/throughput change. 0 or 1
-  // disables batching. Capped at S3kSearcher::kMaxBatch. Batching only
-  // helps when the queue actually backs up with same-plan queries
+  // S3kSearcher::SearchBatchWithPlan pass. Per-request QueryOptions
+  // (k, epsilon_approx, deadline, mode) ride as per-lane parameters,
+  // so they never fragment batches — the plan key is the only
+  // compatibility requirement. Results are bit-for-bit what each query
+  // would get alone; only latency/throughput change. 0 or 1 disables
+  // batching. Capped at S3kSearcher::kMaxBatch. Batching only helps
+  // when the queue actually backs up with same-plan queries
   // (throughput mode); an idle service answers singles either way.
   size_t batch_window = 0;
 };
@@ -94,6 +98,14 @@ struct QueryResponse {
   bool cache_hit = false;        // plan served from the proximity cache
   double queue_seconds = 0.0;    // admission -> dequeue
   double total_seconds = 0.0;    // admission -> completion
+  // Bounds block: the achieved certificate of this answer (mirrors
+  // stats.certified_epsilon / stats.deadline_exceeded, surfaced here
+  // so callers need not dig through SearchStats). certified_epsilon is
+  // ~0 for exact converged answers, <= the requested epsilon_approx
+  // for anytime exits, and may be infinity when a deadline truncated
+  // the search before anything was certifiable.
+  double certified_epsilon = 0.0;
+  bool deadline_exceeded = false;
 };
 
 using QueryFuture = std::future<Result<QueryResponse>>;
@@ -117,6 +129,15 @@ struct QueryServiceStats {
   // the batches that amortized work.
   uint64_t batched_queries = 0;
   uint64_t batches_executed = 0;
+  // Anytime serving: completed kAnytime-mode requests, completed
+  // requests whose search deadline expired, and the histogram of the
+  // achieved certificate (stats.certified_epsilon) over *every*
+  // completed query — exact answers populate the leftmost buckets, so
+  // the histogram doubles as a convergence-quality monitor.
+  uint64_t anytime_queries = 0;
+  uint64_t deadline_exceeded = 0;
+  std::array<uint64_t, eval::ServiceCounters::kEpsBuckets>
+      certified_eps_hist{};
 
   // The operational-health view (eval::FormatCounters renders it).
   eval::ServiceCounters Counters() const {
@@ -126,6 +147,9 @@ struct QueryServiceStats {
     c.cache_misses = cache_misses;
     c.batched_queries = batched_queries;
     c.batches_executed = batches_executed;
+    c.anytime_queries = anytime_queries;
+    c.deadline_exceeded = deadline_exceeded;
+    c.certified_eps_hist = certified_eps_hist;
     return c;
   }
 };
@@ -140,15 +164,18 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  // Non-blocking admission. Fails fast with InvalidArgument on a bad
-  // query, Unavailable when the queue is full, FailedPrecondition
-  // after Shutdown. On success the returned future resolves once a
-  // worker has answered the query.
-  Result<QueryFuture> Submit(core::Query query);
+  // Non-blocking admission. Takes a QueryRequest — a bare core::Query
+  // converts to an exact request with service defaults — and validates
+  // its per-request options (k/epsilon_approx/deadline/mode) up front.
+  // Fails fast with InvalidArgument on a bad query or bad options,
+  // Unavailable when the queue is full, FailedPrecondition after
+  // Shutdown. On success the returned future resolves once a worker
+  // has answered the query.
+  Result<QueryFuture> Submit(core::QueryRequest query);
 
   // Blocking admission: waits for queue space instead of shedding.
   // Fails with FailedPrecondition once the service is shut down.
-  Result<QueryFuture> SubmitBlocking(core::Query query);
+  Result<QueryFuture> SubmitBlocking(core::QueryRequest query);
 
   // Atomically publishes a new snapshot generation. `next` must be
   // finalized; it normally comes from ApplyDelta on the current
@@ -184,15 +211,20 @@ class QueryService {
 
  private:
   struct Task {
-    core::Query query;
+    core::QueryRequest query;
     std::promise<Result<QueryResponse>> promise;
     WallTimer timer;  // started at admission
   };
 
   Status ValidateQuery(const core::S3Instance& snapshot,
-                       const core::Query& query) const;
-  Result<QueryFuture> Admit(core::Query query, bool blocking);
+                       const core::QueryRequest& query) const;
+  Result<QueryFuture> Admit(core::QueryRequest query, bool blocking);
   void WorkerLoop();
+
+  // Counter bookkeeping for one completed response: anytime/deadline
+  // counters plus the certified-epsilon histogram bucket.
+  void RecordOutcome(const core::QueryRequest& query,
+                     const core::SearchStats& stats);
 
   // Resolves the candidate plan for a query against `snapshot` through
   // the cache (or builds it uncached); the cache key carries the
@@ -200,7 +232,7 @@ class QueryService {
   // the calling worker's intra-query pool, reused for cache-miss
   // builds.
   Result<std::shared_ptr<const core::CandidatePlan>> ResolvePlan(
-      const core::S3Instance& snapshot, const core::Query& query,
+      const core::S3Instance& snapshot, const core::QueryRequest& query,
       ThreadPool* pool, bool* cache_hit);
 
   // Guards snapshot_ replacement; workers copy the pointer out once
@@ -220,6 +252,9 @@ class QueryService {
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> batched_queries_{0};
   std::atomic<uint64_t> batches_executed_{0};
+  std::atomic<uint64_t> anytime_queries_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> eps_hist_[eval::ServiceCounters::kEpsBuckets] = {};
 };
 
 }  // namespace s3::server

@@ -1,6 +1,7 @@
 #include "shard/shard_router.h"
 
 #include <algorithm>
+#include <limits>
 #include <thread>
 
 #include "common/file_io.h"
@@ -398,16 +399,17 @@ std::vector<uint64_t> ShardRouter::Generations() const {
   return out;
 }
 
-Result<ShardedResponse> ShardRouter::Query(const core::Query& query) {
+Result<ShardedResponse> ShardRouter::Query(const core::QueryRequest& query) {
   return QueryShards(query, /*scatter=*/false);
 }
 
-Result<ShardedResponse> ShardRouter::QueryGlobal(const core::Query& query) {
+Result<ShardedResponse> ShardRouter::QueryGlobal(
+    const core::QueryRequest& query) {
   return QueryShards(query, /*scatter=*/true);
 }
 
-Result<ShardedResponse> ShardRouter::QueryShards(const core::Query& query,
-                                                 bool scatter) {
+Result<ShardedResponse> ShardRouter::QueryShards(
+    const core::QueryRequest& query, bool scatter) {
   if (query.seeker >= n_users_) {
     return Status::InvalidArgument("unknown seeker");
   }
@@ -452,7 +454,20 @@ Result<ShardedResponse> ShardRouter::QueryShards(const core::Query& query,
     resp.shards[s].queried = true;
     resp.shards[s].generation = response->generation;
     resp.shards[s].cache_hit = response->cache_hit;
+    // Bound exports for the merge and the global certificate. These
+    // are always post-search values: QueryService fills stats from the
+    // SearchWithPlan/SearchBatchWithPlan call that answered *this*
+    // request — the plan cache holds seeker-independent plans only,
+    // never stats — so a cache-hit answer exports exactly what the
+    // cold one did (pinned by AnytimeShardTest.CacheHitExports...).
+    resp.shards[s].kth_lower = response->stats.kth_lower;
     resp.shards[s].remaining_upper = response->stats.remaining_upper;
+    resp.shards[s].certified_epsilon = response->certified_epsilon;
+    resp.shards[s].deadline_exceeded = response->deadline_exceeded;
+    // A deadline-expired shard degrades the global certificate (its
+    // remaining_upper export is looser) instead of failing the query.
+    resp.deadline_exceeded =
+        resp.deadline_exceeded || response->deadline_exceeded;
     resp.shards[s].entries = response->entries.size();
     ++resp.shards_queried;
     if (s == home) {
@@ -481,7 +496,10 @@ Result<ShardedResponse> ShardRouter::QueryShards(const core::Query& query,
               return a.first < b.first;
             });
 
-  const size_t k = options_.service.search.k;
+  // Per-request k (QueryOptions::k == 0 inherits the service default),
+  // matching what every shard's QueryService resolved for its lanes.
+  const size_t k = query.options.k > 0 ? query.options.k
+                                       : options_.service.search.k;
   std::vector<core::ResultEntry> merged;
   {
     std::shared_lock<std::shared_mutex> lock(state_mu_);
@@ -514,6 +532,48 @@ Result<ShardedResponse> ShardRouter::QueryShards(const core::Query& query,
       for (const core::ResultEntry& e : merged) {
         kth_lower = std::min(kth_lower, e.lower);
       }
+    }
+
+    // Global certificate: bound every document NOT in the merged
+    // top-k. Three sources, all per-shard exports of *this* query's
+    // searches: (a) each queried stream's remaining_upper (documents
+    // its shard never returned), (b) the best possible score of a
+    // bound-pruned stream (read unseen, so its whole stream is
+    // "remaining"), and (c) the uppers of returned entries that lost
+    // the merge. Unreachable-pruned shards contribute exactly 0 by the
+    // static reach argument. A deadline-truncated shard simply exports
+    // a looser remaining_upper, degrading certified_epsilon here
+    // rather than failing the query.
+    resp.kth_lower = kth_lower;
+    double global_rem = 0.0;
+    for (auto& [s, response] : streams) {
+      if (resp.shards[s].pruned_bound) {
+        global_rem = std::max(global_rem, best_upper(response));
+        continue;
+      }
+      global_rem = std::max(global_rem, response.stats.remaining_upper);
+      for (const core::ResultEntry& e : response.entries) {
+        auto mapped = shards_[s].map.GlobalNode(e.node);
+        if (!mapped.ok()) return mapped.status();
+        bool kept = false;
+        for (const core::ResultEntry& have : merged) {
+          if (have.node == *mapped) { kept = true; break; }
+        }
+        if (!kept) global_rem = std::max(global_rem, e.upper);
+      }
+    }
+    resp.remaining_upper = global_rem;
+    // Same certificate arithmetic as the engine's finish_lane: the
+    // absolute tie-break slack certifies 0 (exact merges whose kth
+    // lower bound is 0 must not report infinity off a ~1e-12 tail).
+    if (resp.remaining_upper <=
+        resp.kth_lower + options_.service.search.epsilon) {
+      resp.certified_epsilon = 0.0;
+    } else if (resp.kth_lower > 0.0) {
+      resp.certified_epsilon =
+          std::max(0.0, resp.remaining_upper / resp.kth_lower - 1.0);
+    } else {
+      resp.certified_epsilon = std::numeric_limits<double>::infinity();
     }
   }
   resp.entries = std::move(merged);

@@ -64,7 +64,11 @@ struct ShardRouterOptions {
   bool background_checkpoints = true;
 };
 
-// Per-shard outcome of one routed or scattered query.
+// Per-shard outcome of one routed or scattered query. The bound
+// exports (kth_lower / remaining_upper / certified_epsilon) are always
+// the *post-search* values of the search that answered this request —
+// the plan cache stores seeker-independent plans, never stats — so a
+// cache-hit answer exports exactly what the cold answer did.
 struct ShardReport {
   uint32_t shard = 0;
   uint64_t generation = 0;      // generation at merge time
@@ -72,7 +76,10 @@ struct ShardReport {
   bool pruned_unreachable = false;  // no social path: static 0 bound
   bool pruned_bound = false;        // stream below the global k-th lower
   bool cache_hit = false;
+  bool deadline_exceeded = false;   // this shard's search hit its deadline
+  double kth_lower = 0.0;
   double remaining_upper = 0.0;
+  double certified_epsilon = 0.0;   // this shard's local certificate
   size_t entries = 0;
 };
 
@@ -89,6 +96,19 @@ struct ShardedResponse {
   // candidate_nodes are NOT remapped; sizes/counters only).
   core::SearchStats stats;
   bool cache_hit = false;  // home shard's plan-cache outcome
+  // Global certificate of the merged answer, folded from the per-shard
+  // bound exports: kth_lower is the worst lower bound among the merged
+  // entries; remaining_upper bounds every document *not* merged (shard
+  // remaining-upper exports, the best possible score of bound-pruned
+  // streams, and the uppers of entries that lost the merge);
+  // certified_epsilon = max(0, remaining_upper/kth_lower - 1). A shard
+  // whose deadline expired degrades the certificate — its export is
+  // looser — instead of failing the query; deadline_exceeded reports
+  // that any queried shard was truncated.
+  double kth_lower = 0.0;
+  double remaining_upper = 0.0;
+  double certified_epsilon = 0.0;
+  bool deadline_exceeded = false;
 };
 
 // A batch of population growth in global ids, built against the
@@ -169,12 +189,16 @@ class ShardRouter {
   ShardRouter(const ShardRouter&) = delete;
   ShardRouter& operator=(const ShardRouter&) = delete;
 
-  // Seeker-routed exact query (one shard).
-  Result<ShardedResponse> Query(const core::Query& query);
+  // Seeker-routed query (one shard). Takes a QueryRequest — a bare
+  // core::Query converts to an exact request — and propagates it
+  // verbatim to the shard's QueryService, so per-request
+  // k/epsilon/deadline/mode behave exactly as on a single instance.
+  Result<ShardedResponse> Query(const core::QueryRequest& query);
 
   // Scatter-gather with bound-aware merge; identical entries to
-  // Query(), plus per-shard reports.
-  Result<ShardedResponse> QueryGlobal(const core::Query& query);
+  // Query(), plus per-shard reports and the *global* certificate
+  // folded from every shard's bound exports (ShardedResponse).
+  Result<ShardedResponse> QueryGlobal(const core::QueryRequest& query);
 
   // Starts an update batch against the current global population.
   GlobalUpdate BeginUpdate() const;
@@ -219,7 +243,7 @@ class ShardRouter {
       const std::vector<doc::NodeId>& pending_doc_base,
       const std::vector<uint32_t>& pending_doc_nodes) const;
 
-  Result<ShardedResponse> QueryShards(const core::Query& query,
+  Result<ShardedResponse> QueryShards(const core::QueryRequest& query,
                                       bool scatter);
 
   Status PersistShardMeta(const Shard& shard);
