@@ -49,6 +49,21 @@ class ByteWriter {
     U32(static_cast<uint32_t>(s.size()));
     out_->append(s.data(), s.size());
   }
+  // Unsigned LEB128: 7 value bits per byte, high bit = continuation.
+  // Small values (the common case for ids, counts and deltas) take one
+  // byte — the compact-section workhorse of snapshot format v2.
+  void Var(uint64_t v) {
+    while (v >= 0x80) {
+      U8(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    U8(static_cast<uint8_t>(v));
+  }
+  // Varint byte length followed by the raw bytes (v2 string framing).
+  void VarStr(std::string_view s) {
+    Var(s.size());
+    out_->append(s.data(), s.size());
+  }
 
   size_t size() const { return out_->size(); }
 
@@ -82,6 +97,37 @@ class ByteReader {
     double v;
     std::memcpy(&v, &bits, sizeof(v));
     return v;
+  }
+
+  // Inverse of ByteWriter::Var. Rejects non-canonical encodings longer
+  // than 10 bytes and 64-bit overflow (both latch the failure), so a
+  // flipped continuation bit can never spin past the section end.
+  uint64_t Var() {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      uint8_t b = U8();
+      if (failed_) return 0;
+      if (shift == 63 && (b & 0xfe) != 0) {  // would overflow 64 bits
+        failed_ = true;
+        return 0;
+      }
+      v |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    failed_ = true;
+    return 0;
+  }
+
+  // Inverse of ByteWriter::VarStr.
+  std::string VarStr() {
+    uint64_t len = Var();
+    if (failed_ || len > remaining()) {
+      failed_ = true;
+      return std::string();
+    }
+    std::string out(data_.substr(pos_, len));
+    pos_ += static_cast<size_t>(len);
+    return out;
   }
 
   // Inverse of ByteWriter::Str.

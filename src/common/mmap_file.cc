@@ -1,0 +1,66 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace s3 {
+
+Status MappedRegion::Open(const std::string& path,
+                          std::shared_ptr<const MappedRegion>* out) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("mmap open '" + path +
+                            "': " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::InvalidArgument("mmap fstat '" + path +
+                                   "': " + std::strerror(err));
+  }
+  auto region = std::shared_ptr<MappedRegion>(new MappedRegion());
+  region->size_ = static_cast<size_t>(st.st_size);
+  if (region->size_ > 0) {
+    void* base =
+        ::mmap(nullptr, region->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (base == MAP_FAILED) {
+      int err = errno;
+      ::close(fd);
+      return Status::InvalidArgument("mmap '" + path +
+                                     "': " + std::strerror(err));
+    }
+    region->mapped_base_ = base;
+    region->mapped_len_ = region->size_;
+    region->data_ = static_cast<const uint8_t*>(base);
+  }
+  // The mapping holds its own file reference; the descriptor is not
+  // needed past this point.
+  ::close(fd);
+  *out = std::move(region);
+  return Status::OK();
+}
+
+std::shared_ptr<const MappedRegion> MappedRegion::FromBuffer(
+    std::string_view bytes, size_t misalign) {
+  auto region = std::shared_ptr<MappedRegion>(new MappedRegion());
+  region->size_ = bytes.size();
+  region->heap_ = std::make_unique<uint8_t[]>(bytes.size() + misalign + 1);
+  uint8_t* payload = region->heap_.get() + misalign;
+  std::memcpy(payload, bytes.data(), bytes.size());
+  region->data_ = payload;
+  return region;
+}
+
+MappedRegion::~MappedRegion() {
+  if (mapped_base_ != nullptr) {
+    ::munmap(mapped_base_, mapped_len_);
+  }
+}
+
+}  // namespace s3

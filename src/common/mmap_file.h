@@ -1,0 +1,67 @@
+// Read-only memory-mapped file regions for zero-copy snapshot attach.
+//
+// A MappedRegion owns one contiguous read-only byte range for its whole
+// lifetime — either a whole file mapped with mmap(2) or a heap buffer
+// (the fallback when mmap is unavailable and the substrate for
+// misalignment tests). Consumers hold it through
+// std::shared_ptr<const MappedRegion>: StorageSpan views into the
+// region pin the shared_ptr, so the mapping cannot be torn down while
+// any derived structure still reads through it. Unlinking the backing
+// file while mapped is safe on POSIX (the pages stay valid until the
+// last munmap), so checkpoint retention can delete old snapshot files
+// without coordinating with attached instances.
+#ifndef S3_COMMON_MMAP_FILE_H_
+#define S3_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace s3 {
+
+class MappedRegion {
+ public:
+  // Maps `path` read-only. Fails with NotFound / InvalidArgument on
+  // open/map errors. An empty file yields a valid region of size 0.
+  static Status Open(const std::string& path,
+                     std::shared_ptr<const MappedRegion>* out);
+
+  // Copies `bytes` into a heap-backed region. `misalign` shifts the
+  // payload start by that many bytes from the allocation's (maximally
+  // aligned) base — robustness tests use it to prove the attach path
+  // degrades to copying, never to unaligned loads.
+  static std::shared_ptr<const MappedRegion> FromBuffer(
+      std::string_view bytes, size_t misalign = 0);
+
+  ~MappedRegion();
+
+  MappedRegion(const MappedRegion&) = delete;
+  MappedRegion& operator=(const MappedRegion&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::string_view view() const {
+    return {reinterpret_cast<const char*>(data_), size_};
+  }
+  // True when the region is an actual mmap (as opposed to a heap copy).
+  bool is_mapped() const { return mapped_base_ != nullptr; }
+
+ private:
+  MappedRegion() = default;
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  // mmap bookkeeping (null for heap-backed regions).
+  void* mapped_base_ = nullptr;
+  size_t mapped_len_ = 0;
+  // Heap backing for FromBuffer (sized size_ + misalign).
+  std::unique_ptr<uint8_t[]> heap_;
+};
+
+}  // namespace s3
+
+#endif  // S3_COMMON_MMAP_FILE_H_

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/storage_span.h"
 #include "doc/document_store.h"
 #include "doc/inverted_index.h"
 #include "rdf/extension.h"
@@ -194,17 +195,21 @@ class S3Instance {
   };
 
   // Deserialized derived state: everything Finalize would compute.
+  // The large fixed-width arrays are StorageSpans: the v1 codec and
+  // v2's copy mode fill them with owned vectors, while a v2 mmap
+  // attach hands over zero-copy views pinning the mapped snapshot —
+  // AttachDerived adopts either backing unchanged.
   struct SnapshotDerived {
     uint64_t generation = 0;
     uint64_t lineage = 0;
     uint64_t rdf_social_edges = 0;
     rdf::SaturationStats saturation_stats;
     doc::InvertedIndex index;  // built by the codec via AdoptPostings
-    std::vector<uint64_t> matrix_row_ptr;
-    std::vector<uint32_t> matrix_cols;
-    std::vector<double> matrix_vals;
-    std::vector<double> matrix_denom;
-    std::vector<uint32_t> component_forest;
+    StorageSpan<uint64_t> matrix_row_ptr;
+    StorageSpan<uint32_t> matrix_cols;
+    StorageSpan<double> matrix_vals;
+    StorageSpan<double> matrix_denom;
+    StorageSpan<uint32_t> component_forest;
     std::vector<std::pair<KeywordId, std::vector<social::ComponentId>>>
         comps_with_keyword;  // ascending keyword ids, sorted comp lists
   };

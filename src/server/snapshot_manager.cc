@@ -214,13 +214,18 @@ Result<RecoveredState> SnapshotManager::Recover(const std::string& dir) {
   RecoveredState state;
   std::string last_error = "?";
   for (const auto& [generation, path] : snapshots) {
-    std::string bytes;
-    Status read = ReadFileToString(path, &bytes);
-    if (!read.ok()) {
-      last_error = read.ToString();
+    // mmap + attach instead of read + copy: v2 snapshots hand their
+    // aligned sections (matrix CSR floats, component forest) to the
+    // instance as zero-copy views pinning the mapping, so recovery
+    // cost is decode-the-compact-sections, not copy-the-file. v1
+    // snapshots go down the same call and load via the copy path.
+    std::shared_ptr<const MappedRegion> region;
+    Status mapped = MappedRegion::Open(path, &region);
+    if (!mapped.ok()) {
+      last_error = mapped.ToString();
       continue;
     }
-    auto loaded = core::LoadBinarySnapshot(bytes);
+    auto loaded = core::AttachBinarySnapshot(region);
     if (!loaded.ok()) {
       last_error = path + ": " + loaded.status().ToString();
       continue;

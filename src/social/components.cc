@@ -40,14 +40,31 @@ class UnionFind {
 
 void ComponentIndex::AssignComponents(const EntityLayout& layout) {
   const uint32_t total = layout.total();
-  UnionFind uf(uf_parent_);
   comp_of_row_.assign(total, kInvalidComponent);
   members_.clear();
+  // Non-mutating root resolution: walk each unresolved chain up to its
+  // root (or to a row whose root is already memoized) and backfill the
+  // memo along the walked path — O(rows) amortized, and the forest
+  // itself (possibly a view into an mmap'd snapshot) is never written.
+  std::vector<uint32_t> root_of(total, UINT32_MAX);
+  std::vector<uint32_t> path;
+  auto resolve_root = [&](uint32_t row) {
+    path.clear();
+    uint32_t x = row;
+    while (root_of[x] == UINT32_MAX && uf_parent_[x] != x) {
+      path.push_back(x);
+      x = uf_parent_[x];
+    }
+    const uint32_t root = root_of[x] == UINT32_MAX ? x : root_of[x];
+    root_of[x] = root;
+    for (uint32_t p : path) root_of[p] = root;
+    return root;
+  };
   std::vector<ComponentId> root_to_comp(total, kInvalidComponent);
   for (uint32_t row = 0; row < total; ++row) {
     EntityKind kind = layout.Entity(row).kind();
     if (kind == EntityKind::kUser) continue;
-    uint32_t root = uf.Find(row);
+    uint32_t root = resolve_root(row);
     ComponentId c = root_to_comp[root];
     if (c == kInvalidComponent) {
       c = static_cast<ComponentId>(members_.size());
@@ -60,7 +77,7 @@ void ComponentIndex::AssignComponents(const EntityLayout& layout) {
 }
 
 Status ComponentIndex::AdoptForest(const EntityLayout& layout,
-                                   std::vector<uint32_t> forest) {
+                                   StorageSpan<uint32_t> forest) {
   const uint32_t total = layout.total();
   if (forest.size() != total) {
     return Status::InvalidArgument("component forest: row count mismatch");
@@ -112,9 +129,9 @@ void ComponentIndex::Build(const EntityLayout& layout,
                            const doc::DocumentStore& docs) {
   layout_ = &layout;
   const uint32_t total = layout.total();
-  uf_parent_.resize(total);
-  std::iota(uf_parent_.begin(), uf_parent_.end(), 0u);
-  UnionFind uf(uf_parent_);
+  std::vector<uint32_t> parent(total);
+  std::iota(parent.begin(), parent.end(), 0u);
+  UnionFind uf(parent);
 
   // S3:partOf: all nodes of one document tree are one cluster.
   for (doc::DocId d = 0; d < docs.DocumentCount(); ++d) {
@@ -134,6 +151,7 @@ void ComponentIndex::Build(const EntityLayout& layout,
     }
   }
 
+  uf_parent_ = std::move(parent);
   AssignComponents(layout);
 }
 
@@ -153,13 +171,15 @@ void ComponentIndex::BuildIncremental(const EntityLayout& new_layout,
   auto remap = [&](uint32_t row) {
     return row < old_tag_base ? row : row + n_new_fragments;
   };
+  // The pre-delta forest (possibly view-backed) is read while the
+  // remapped successor accumulates in owned scratch; unions — and
+  // their path compression — touch only the scratch vector.
   std::vector<uint32_t> parent(total);
   std::iota(parent.begin(), parent.end(), 0u);
   for (uint32_t row = 0; row < old_total; ++row) {
     parent[remap(row)] = remap(uf_parent_[row]);
   }
-  uf_parent_ = std::move(parent);
-  UnionFind uf(uf_parent_);
+  UnionFind uf(parent);
 
   // partOf clusters of the delta's documents.
   for (doc::DocId d = first_new_doc; d < docs.DocumentCount(); ++d) {
@@ -183,6 +203,7 @@ void ComponentIndex::BuildIncremental(const EntityLayout& new_layout,
   }
 
   layout_ = &new_layout;
+  uf_parent_ = std::move(parent);
   AssignComponents(new_layout);
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/storage_span.h"
 #include "doc/document_store.h"
 #include "social/edge_store.h"
 #include "social/entity.h"
@@ -65,19 +66,24 @@ class ComponentIndex {
   // comp_of_row_/members_ are re-derived from it on adoption by the
   // same ordered row scan Build runs, so the component-id assignment of
   // a reloaded snapshot matches the saved instance exactly (path
-  // compression changes parent entries but never roots).
-  const std::vector<uint32_t>& forest() const { return uf_parent_; }
+  // compression changes parent entries but never roots). May be
+  // view-backed after a v2 mmap attach; nothing mutates it in place —
+  // path compression happens only inside Build/BuildIncremental on
+  // owned scratch before adoption.
+  const StorageSpan<uint32_t>& forest() const { return uf_parent_; }
 
   // Binary-load path: adopts a deserialized forest (size and parent
   // range validated, user rows must be singletons) and assigns
   // component ids. `layout` must outlive this index.
   Status AdoptForest(const EntityLayout& layout,
-                     std::vector<uint32_t> forest);
+                     StorageSpan<uint32_t> forest);
 
  private:
   // Re-derives comp_of_row_ / members_ from the union-find forest by
   // scanning rows in order (the id-assignment convention shared by the
-  // full and incremental builds).
+  // full and incremental builds). Read-only over uf_parent_: roots are
+  // resolved through a memoized side table instead of path compression,
+  // so a view-backed forest is never written through.
   void AssignComponents(const EntityLayout& layout);
 
   const EntityLayout* layout_ = nullptr;
@@ -85,7 +91,7 @@ class ComponentIndex {
   std::vector<std::vector<uint32_t>> members_;
   // Union-find forest over entity rows, kept after Build for
   // incremental extension.
-  std::vector<uint32_t> uf_parent_;
+  StorageSpan<uint32_t> uf_parent_;
 };
 
 }  // namespace s3::social

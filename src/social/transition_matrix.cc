@@ -99,7 +99,7 @@ void BatchFrontier::ZeroLane(size_t lane) {
 
 void TransitionMatrix::AppendComputedRow(
     uint32_t row, const EntityLayout& layout, const EdgeStore& edges,
-    const doc::DocumentStore& docs,
+    const doc::DocumentStore& docs, CsrBuild& b,
     std::unordered_map<uint32_t, double>& row_acc,
     std::vector<std::pair<uint32_t, double>>& sorted_row) {
   row_acc.clear();
@@ -120,14 +120,14 @@ void TransitionMatrix::AppendComputedRow(
       accumulate_entity(ve);
     }
   }
-  denom_[row] = d;
+  b.denom[row] = d;
   sorted_row.assign(row_acc.begin(), row_acc.end());
   std::sort(sorted_row.begin(), sorted_row.end());
   for (auto& [col, w] : sorted_row) {
-    cols_.push_back(col);
-    vals_.push_back(w / d);
+    b.cols.push_back(col);
+    b.vals.push_back(w / d);
   }
-  row_ptr_[row + 1] = cols_.size();
+  b.row_ptr[row + 1] = b.cols.size();
 }
 
 void TransitionMatrix::BuildTranspose() {
@@ -147,17 +147,17 @@ void TransitionMatrix::BuildTranspose() {
   }
 }
 
-Status TransitionMatrix::Adopt(std::vector<uint64_t> row_ptr,
-                               std::vector<uint32_t> cols,
-                               std::vector<double> vals,
-                               std::vector<double> denom, size_t n_rows) {
+Status TransitionMatrix::Adopt(StorageSpan<uint64_t> row_ptr,
+                               StorageSpan<uint32_t> cols,
+                               StorageSpan<double> vals,
+                               StorageSpan<double> denom, size_t n_rows) {
   auto bad = [](const std::string& why) {
     return Status::InvalidArgument("transition matrix: " + why);
   };
   if (row_ptr.size() != n_rows + 1 || denom.size() != n_rows) {
     return bad("row count mismatch");
   }
-  if (row_ptr.front() != 0 || row_ptr.back() != cols.size() ||
+  if (row_ptr[0] != 0 || row_ptr.back() != cols.size() ||
       cols.size() != vals.size()) {
     return bad("CSR extent mismatch");
   }
@@ -182,18 +182,21 @@ void TransitionMatrix::Build(const EntityLayout& layout,
                              const EdgeStore& edges,
                              const doc::DocumentStore& docs) {
   const uint32_t total = layout.total();
-  row_ptr_.assign(total + 1, 0);
-  denom_.assign(total, 0.0);
-  cols_.clear();
-  vals_.clear();
+  CsrBuild b;
+  b.row_ptr.assign(total + 1, 0);
+  b.denom.assign(total, 0.0);
 
   // Per-row accumulation buffer: column -> weight sum (unnormalized).
   std::unordered_map<uint32_t, double> row_acc;
   std::vector<std::pair<uint32_t, double>> sorted_row;
 
   for (uint32_t row = 0; row < total; ++row) {
-    AppendComputedRow(row, layout, edges, docs, row_acc, sorted_row);
+    AppendComputedRow(row, layout, edges, docs, b, row_acc, sorted_row);
   }
+  row_ptr_ = std::move(b.row_ptr);
+  cols_ = std::move(b.cols);
+  vals_ = std::move(b.vals);
+  denom_ = std::move(b.denom);
   BuildTranspose();
 }
 
@@ -208,17 +211,20 @@ void TransitionMatrix::IncrementalUpdate(const EntityLayout& new_layout,
   const uint32_t new_frag_end = old_tag_base + n_new_fragments;
   assert(touched.size() == total);
 
-  std::vector<uint64_t> old_row_ptr = std::move(row_ptr_);
-  std::vector<uint32_t> old_cols = std::move(cols_);
-  std::vector<double> old_vals = std::move(vals_);
-  std::vector<double> old_denom = std::move(denom_);
+  // The pre-delta CSR (possibly view-backed on a mapped base) is read
+  // in place while the successor arrays accumulate in owned scratch;
+  // the swap at the end releases it — or, for a view, just this
+  // matrix's pin on the mapping.
+  const StorageSpan<uint64_t> old_row_ptr = std::move(row_ptr_);
+  const StorageSpan<uint32_t> old_cols = std::move(cols_);
+  const StorageSpan<double> old_vals = std::move(vals_);
+  const StorageSpan<double> old_denom = std::move(denom_);
 
-  row_ptr_.assign(total + 1, 0);
-  denom_.assign(total, 0.0);
-  cols_.clear();
-  vals_.clear();
-  cols_.reserve(old_cols.size());
-  vals_.reserve(old_vals.size());
+  CsrBuild b;
+  b.row_ptr.assign(total + 1, 0);
+  b.denom.assign(total, 0.0);
+  b.cols.reserve(old_cols.size());
+  b.vals.reserve(old_vals.size());
 
   std::unordered_map<uint32_t, double> row_acc;
   std::vector<std::pair<uint32_t, double>> sorted_row;
@@ -236,18 +242,23 @@ void TransitionMatrix::IncrementalUpdate(const EntityLayout& new_layout,
     if (old_row != UINT32_MAX && !touched[row]) {
       // Splice: same normalized values, columns remapped for the tag
       // shift (the remap is monotone, so sortedness is preserved).
-      denom_[row] = old_denom[old_row];
+      b.denom[row] = old_denom[old_row];
       for (uint64_t i = old_row_ptr[old_row]; i < old_row_ptr[old_row + 1];
            ++i) {
         const uint32_t c = old_cols[i];
-        cols_.push_back(c < old_tag_base ? c : c + n_new_fragments);
-        vals_.push_back(old_vals[i]);
+        b.cols.push_back(c < old_tag_base ? c : c + n_new_fragments);
+        b.vals.push_back(old_vals[i]);
       }
-      row_ptr_[row + 1] = cols_.size();
+      b.row_ptr[row + 1] = b.cols.size();
     } else {
-      AppendComputedRow(row, new_layout, edges, docs, row_acc, sorted_row);
+      AppendComputedRow(row, new_layout, edges, docs, b, row_acc,
+                        sorted_row);
     }
   }
+  row_ptr_ = std::move(b.row_ptr);
+  cols_ = std::move(b.cols);
+  vals_ = std::move(b.vals);
+  denom_ = std::move(b.denom);
   BuildTranspose();
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/storage_span.h"
 #include "common/thread_pool.h"
 #include "doc/document_store.h"
 #include "social/edge_store.h"
@@ -156,26 +157,39 @@ class TransitionMatrix {
 
   // Raw CSR views for the binary snapshot writer. The transpose is not
   // exposed: it is a pure function of the CSR and is rebuilt on Adopt.
-  const std::vector<uint64_t>& row_ptr() const { return row_ptr_; }
-  const std::vector<uint32_t>& col_index() const { return cols_; }
-  const std::vector<double>& values() const { return vals_; }
-  const std::vector<double>& denominators() const { return denom_; }
+  // Each array may be heap-owned (Build/IncrementalUpdate output, v1
+  // loads) or a view into an mmap'd snapshot section (v2 attach).
+  const StorageSpan<uint64_t>& row_ptr() const { return row_ptr_; }
+  const StorageSpan<uint32_t>& col_index() const { return cols_; }
+  const StorageSpan<double>& values() const { return vals_; }
+  const StorageSpan<double>& denominators() const { return denom_; }
 
   // Binary-load path: adopts a deserialized CSR wholesale — shape
   // validation only (monotone row_ptr, in-range strictly-ascending
   // columns per row, matching array sizes); the float values are
   // covered by the snapshot's checksum framing — and rebuilds the
-  // transpose. `n_rows` is the entity-row count the matrix must cover.
-  Status Adopt(std::vector<uint64_t> row_ptr, std::vector<uint32_t> cols,
-               std::vector<double> vals, std::vector<double> denom,
+  // transpose (always heap-owned, even when the CSR arrays are views).
+  // `n_rows` is the entity-row count the matrix must cover.
+  Status Adopt(StorageSpan<uint64_t> row_ptr, StorageSpan<uint32_t> cols,
+               StorageSpan<double> vals, StorageSpan<double> denom,
                size_t n_rows);
 
  private:
+  // Owned scratch a Build/IncrementalUpdate pass accumulates into
+  // before the results are swapped into the (possibly view-backed)
+  // spans — mutation never happens through an adopted array.
+  struct CsrBuild {
+    std::vector<uint64_t> row_ptr;
+    std::vector<uint32_t> cols;
+    std::vector<double> vals;
+    std::vector<double> denom;
+  };
+
   // Computes one row (denominator + sorted normalized entries) and
-  // appends it to cols_/vals_; shared by Build and IncrementalUpdate.
+  // appends it to `b`; shared by Build and IncrementalUpdate.
   void AppendComputedRow(
       uint32_t row, const EntityLayout& layout, const EdgeStore& edges,
-      const doc::DocumentStore& docs,
+      const doc::DocumentStore& docs, CsrBuild& b,
       std::unordered_map<uint32_t, double>& row_acc,
       std::vector<std::pair<uint32_t, double>>& sorted_row);
 
@@ -188,11 +202,12 @@ class TransitionMatrix {
   void PropagateBatchPull(const BatchFrontier& in, BatchFrontier& out,
                           ThreadPool* pool) const;
 
-  std::vector<uint64_t> row_ptr_;
-  std::vector<uint32_t> cols_;
-  std::vector<double> vals_;
-  std::vector<double> denom_;
+  StorageSpan<uint64_t> row_ptr_;
+  StorageSpan<uint32_t> cols_;
+  StorageSpan<double> vals_;
+  StorageSpan<double> denom_;
   // Transpose (in-edges per row), for the pull-based parallel product.
+  // Always heap-owned: it is rebuilt from the CSR on every adopt.
   std::vector<uint64_t> t_row_ptr_;
   std::vector<uint32_t> t_cols_;
   std::vector<double> t_vals_;

@@ -7,11 +7,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/binary_io.h"
+#include "common/mmap_file.h"
 #include "core/instance_delta.h"
 #include "core/s3k.h"
 #include "core/serialization.h"
@@ -25,7 +31,10 @@ namespace {
 
 // ---- fidelity helpers --------------------------------------------------
 
-void ExpectSameDerivedState(const S3Instance& got, const S3Instance& want) {
+// `check_identity` also pins generation/lineage — golden-fixture
+// comparisons drop it (lineage tokens are per-process).
+void ExpectSameDerivedState(const S3Instance& got, const S3Instance& want,
+                            bool check_identity = true) {
   ASSERT_EQ(got.layout().total(), want.layout().total());
 
   // Transition matrix: rows and denominators bit for bit.
@@ -59,8 +68,10 @@ void ExpectSameDerivedState(const S3Instance& got, const S3Instance& want) {
         << "components of keyword " << k;
   }
 
-  EXPECT_EQ(got.generation(), want.generation());
-  EXPECT_EQ(got.lineage(), want.lineage());
+  if (check_identity) {
+    EXPECT_EQ(got.generation(), want.generation());
+    EXPECT_EQ(got.lineage(), want.lineage());
+  }
   EXPECT_EQ(got.rdf_social_edges(), want.rdf_social_edges());
   EXPECT_EQ(got.saturation_stats().derived_triples,
             want.saturation_stats().derived_triples);
@@ -243,19 +254,51 @@ TEST(SnapshotSeamTest, DetectsAndLoadsBothFormats) {
 
 TEST(SnapshotInspectTest, ReportsSectionsAndMeta) {
   auto fig = s3::testing::BuildFigure1();
-  auto blob = SaveBinarySnapshot(*fig.instance);
+  auto blob = SaveBinarySnapshot(*fig.instance, kBinarySnapshotV2);
   ASSERT_TRUE(blob.ok());
   auto info = InspectBinarySnapshot(*blob);
   ASSERT_TRUE(info.ok()) << info.status().ToString();
-  EXPECT_EQ(info->version, kBinarySnapshotVersion);
+  EXPECT_EQ(info->version, kBinarySnapshotV2);
   EXPECT_EQ(info->generation, 0u);
   EXPECT_EQ(info->lineage, fig.instance->lineage());
   EXPECT_EQ(info->n_users, fig.instance->UserCount());
   EXPECT_EQ(info->n_nodes, fig.instance->docs().NodeCount());
   EXPECT_EQ(info->n_tags, fig.instance->TagCount());
+  ASSERT_EQ(info->sections.size(), 17u);
+  for (const auto& section : info->sections) {
+    EXPECT_TRUE(section.crc_ok) << section.name;
+    // Compact sections report the decoded footprint they expand to; raw
+    // and aligned sections are stored as-is.
+    if (std::string_view(section.encoding) == "varint-delta") {
+      EXPECT_GE(section.mem_bytes, section.size) << section.name;
+    } else {
+      EXPECT_EQ(section.mem_bytes, section.size) << section.name;
+    }
+  }
+  // The aligned (zero-copy) sections sit at 64-byte file offsets.
+  std::vector<std::string_view> aligned;
+  for (const auto& section : info->sections) {
+    if (std::string_view(section.encoding) == "aligned") {
+      aligned.push_back(section.name);
+    }
+  }
+  EXPECT_EQ(aligned, (std::vector<std::string_view>{
+                         "MATRIXROWPTR", "MATRIXVALS", "MATRIXDENOM",
+                         "FOREST"}));
+}
+
+TEST(SnapshotInspectTest, ReportsV1Sections) {
+  auto fig = s3::testing::BuildFigure1();
+  auto blob = SaveBinarySnapshot(*fig.instance, kBinarySnapshotV1);
+  ASSERT_TRUE(blob.ok());
+  auto info = InspectBinarySnapshot(*blob);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->version, kBinarySnapshotV1);
   ASSERT_EQ(info->sections.size(), 14u);
   for (const auto& section : info->sections) {
     EXPECT_TRUE(section.crc_ok) << section.name;
+    EXPECT_EQ(std::string_view(section.encoding), "raw") << section.name;
+    EXPECT_EQ(section.mem_bytes, section.size) << section.name;
   }
 }
 
@@ -278,11 +321,14 @@ TEST(SnapshotInspectTest, FlagsCorruptSection) {
 
 // ---- robustness: corrupt binary input ----------------------------------
 
-class BinarySnapshotRobustnessTest : public ::testing::Test {
+// Parameterized over the wire format: both v1 and v2 must reject every
+// truncation, bit flip and garbage input.
+class BinarySnapshotRobustnessTest
+    : public ::testing::TestWithParam<uint32_t> {
  protected:
   void SetUp() override {
     auto fig = s3::testing::BuildFigure1();
-    auto blob = SaveBinarySnapshot(*fig.instance);
+    auto blob = SaveBinarySnapshot(*fig.instance, GetParam());
     ASSERT_TRUE(blob.ok());
     blob_ = std::move(*blob);
   }
@@ -298,7 +344,14 @@ class BinarySnapshotRobustnessTest : public ::testing::Test {
   std::string blob_;
 };
 
-TEST_F(BinarySnapshotRobustnessTest, TruncationsNeverCrash) {
+INSTANTIATE_TEST_SUITE_P(Formats, BinarySnapshotRobustnessTest,
+                         ::testing::Values(kBinarySnapshotV1,
+                                           kBinarySnapshotV2),
+                         [](const auto& info) {
+                           return "v" + std::to_string(info.param);
+                         });
+
+TEST_P(BinarySnapshotRobustnessTest, TruncationsNeverCrash) {
   // Dense sweep over the header + first sections, coarse sweep beyond.
   for (size_t len = 0; len < std::min<size_t>(blob_.size(), 300); ++len) {
     ExpectRejected(std::string_view(blob_).substr(0, len),
@@ -310,7 +363,7 @@ TEST_F(BinarySnapshotRobustnessTest, TruncationsNeverCrash) {
   }
 }
 
-TEST_F(BinarySnapshotRobustnessTest, BitFlipsNeverCrash) {
+TEST_P(BinarySnapshotRobustnessTest, BitFlipsNeverCrash) {
   for (size_t at = 0; at < blob_.size(); at += 13) {
     for (int bit : {0, 3, 7}) {
       std::string corrupt = blob_;
@@ -323,7 +376,7 @@ TEST_F(BinarySnapshotRobustnessTest, BitFlipsNeverCrash) {
   }
 }
 
-TEST_F(BinarySnapshotRobustnessTest, GarbageNeverCrashes) {
+TEST_P(BinarySnapshotRobustnessTest, GarbageNeverCrashes) {
   ExpectRejected("", "empty");
   ExpectRejected("S3 v1\nUSER u\n", "text dump fed to binary loader");
   std::string junk(4096, '\0');
@@ -341,7 +394,15 @@ TEST_F(BinarySnapshotRobustnessTest, GarbageNeverCrashes) {
 // A *checksum-valid* but semantically hostile snapshot must still be
 // rejected: rewrite a section payload and refresh its stored CRC, so
 // only structural validation stands between the bytes and the engine.
-TEST_F(BinarySnapshotRobustnessTest, CrcValidKindConfusionIsRejected) {
+TEST(BinarySnapshotConfusionTest, CrcValidKindConfusionIsRejected) {
+  // Frame-walking is v1-specific: pin the version.
+  std::string blob_;
+  {
+    auto fig = s3::testing::BuildFigure1();
+    auto v1 = SaveBinarySnapshot(*fig.instance, kBinarySnapshotV1);
+    ASSERT_TRUE(v1.ok());
+    blob_ = std::move(*v1);
+  }
   // Walk the frame table (8-byte magic, u32 version, u32 count, then
   // per section: u32 id, u64 size, u32 crc, payload) to the EDGES
   // section (id 10).
@@ -402,6 +463,274 @@ TEST_F(BinarySnapshotRobustnessTest, CrcValidKindConfusionIsRejected) {
   EXPECT_NE(loaded.status().message().find("kinds do not match"),
             std::string::npos)
       << loaded.status().ToString();
+}
+
+// ---- v2 zero-copy attach -----------------------------------------------
+
+// File offset and size of a v2 section's payload, straight from the
+// section table (magic 8 + version/count/crc 12, then 36-byte entries:
+// id u32, encoding u8, elem u8, reserved u16, offset u64, size u64,
+// mem u64, crc u32).
+std::pair<size_t, size_t> V2SectionExtent(const std::string& blob,
+                                          uint32_t id) {
+  const size_t entry = 8 + 12 + (id - 1) * 36;
+  ByteReader r(std::string_view(blob).substr(entry, 36));
+  r.Skip(8);
+  const uint64_t offset = r.U64();
+  const uint64_t size = r.U64();
+  return {static_cast<size_t>(offset), static_cast<size_t>(size)};
+}
+
+class SnapshotAttachTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fig_ = s3::testing::BuildFigure1();
+    auto blob = SaveBinarySnapshot(*fig_.instance, kBinarySnapshotV2);
+    ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+    blob_ = std::move(*blob);
+  }
+
+  s3::testing::Figure1 fig_;
+  std::string blob_;
+};
+
+TEST_F(SnapshotAttachTest, MmapAttachMatchesHeapLoadBitForBit) {
+  auto region = MappedRegion::FromBuffer(blob_);
+  auto attached = AttachBinarySnapshot(region);
+  ASSERT_TRUE(attached.ok()) << attached.status().ToString();
+  auto heap = LoadBinarySnapshot(blob_);
+  ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+
+  // The aligned sections really are views into the region (heap
+  // buffers from FromBuffer are 16-byte aligned and every aligned
+  // payload sits at a 64-byte file offset).
+  EXPECT_TRUE((*attached)->matrix().values().is_view());
+  EXPECT_TRUE((*attached)->matrix().row_ptr().is_view());
+  EXPECT_TRUE((*attached)->matrix().denominators().is_view());
+  EXPECT_TRUE((*attached)->components().forest().is_view());
+  EXPECT_FALSE((*heap)->matrix().values().is_view());
+
+  ExpectSameDerivedState(**attached, *fig_.instance);
+  ExpectSameDerivedState(**attached, **heap);
+  ExpectSameQueryResults(**attached, **heap,
+                         Query{fig_.u1, {fig_.kw_degree}});
+  ExpectSameQueryResults(**attached, *fig_.instance,
+                         Query{fig_.u0, {fig_.kw_university, fig_.kw_ms}});
+}
+
+TEST_F(SnapshotAttachTest, DeltaChainsOnMmapBaseMatchHeapBase) {
+  auto region = MappedRegion::FromBuffer(blob_);
+  auto attached = AttachBinarySnapshot(region);
+  ASSERT_TRUE(attached.ok());
+  auto heap = LoadBinarySnapshot(blob_);
+  ASSERT_TRUE(heap.ok());
+
+  // The same two-delta chain applied to a view-backed and a heap base
+  // must produce bit-identical successors: IncrementalUpdate and
+  // BuildIncremental read the base (possibly through views) and write
+  // only owned scratch.
+  auto extend = [&](std::shared_ptr<const S3Instance> snap) {
+    InstanceDelta d1(snap);
+    doc::Document nd("doc");
+    nd.AddKeywords(0, {d1.InternKeyword("mmap")});
+    EXPECT_TRUE(d1.AddDocument(std::move(nd), "mmap-doc", fig_.u2).ok());
+    EXPECT_TRUE(d1.AddSocialEdge(fig_.u0, fig_.u2, 0.25).ok());
+    auto gen1 = snap->ApplyDelta(d1);
+    EXPECT_TRUE(gen1.ok());
+    InstanceDelta d2(*gen1);
+    EXPECT_TRUE(
+        d2.AddTagOnFragment(fig_.u1, fig_.d0_root, d2.InternKeyword("mmap"))
+            .ok());
+    auto gen2 = (*gen1)->ApplyDelta(d2);
+    EXPECT_TRUE(gen2.ok());
+    return *gen2;
+  };
+  auto from_view = extend(*attached);
+  auto from_heap = extend(*heap);
+  ASSERT_EQ(from_view->generation(), 2u);
+  ExpectSameDerivedState(*from_view, *from_heap);
+  ExpectSameQueryResults(*from_view, *from_heap,
+                         Query{fig_.u1, {fig_.kw_degree}});
+}
+
+TEST_F(SnapshotAttachTest, ViewsOutliveTheRegionHandle) {
+  auto region = MappedRegion::FromBuffer(blob_);
+  auto attached = AttachBinarySnapshot(region);
+  ASSERT_TRUE(attached.ok());
+  // Dropping the caller's handle must not invalidate the views — the
+  // spans pin the region.
+  region.reset();
+  ExpectSameQueryResults(**attached, *fig_.instance,
+                         Query{fig_.u1, {fig_.kw_degree}});
+}
+
+TEST_F(SnapshotAttachTest, MisalignedRegionsFallBackToCopies) {
+  for (size_t misalign : {1u, 2u, 3u, 4u, 5u, 6u, 7u}) {
+    auto region = MappedRegion::FromBuffer(blob_, misalign);
+    auto attached = AttachBinarySnapshot(region);
+    ASSERT_TRUE(attached.ok())
+        << "misalign " << misalign << ": " << attached.status().ToString();
+    if (misalign % alignof(double) != 0) {
+      EXPECT_FALSE((*attached)->matrix().values().is_view())
+          << "misalign " << misalign;
+    }
+    if (misalign % alignof(uint32_t) != 0) {
+      EXPECT_FALSE((*attached)->components().forest().is_view())
+          << "misalign " << misalign;
+    }
+    ExpectSameDerivedState(**attached, *fig_.instance);
+  }
+}
+
+TEST_F(SnapshotAttachTest, LazyCrcSkipsAlignedEagerCatchesIt) {
+  // Corrupt one byte inside MATRIXVALS (aligned, lazily verified).
+  auto [offset, size] = V2SectionExtent(blob_, 14);
+  ASSERT_GT(size, 0u);
+  std::string corrupt = blob_;
+  corrupt[offset + size / 2] ^= 0x10;
+
+  // Lazy attach admits it (the structural shape is intact — that is
+  // the documented trade of skipping the float-array CRC pass)...
+  auto lazy = AttachBinarySnapshot(MappedRegion::FromBuffer(corrupt));
+  EXPECT_TRUE(lazy.ok()) << lazy.status().ToString();
+  // ...eager attach and the heap loader both reject it.
+  SnapshotAttachOptions eager;
+  eager.eager_crc = true;
+  auto checked =
+      AttachBinarySnapshot(MappedRegion::FromBuffer(corrupt), eager);
+  ASSERT_FALSE(checked.ok());
+  EXPECT_EQ(checked.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(LoadBinarySnapshot(corrupt).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Corruption in a *compact* section is caught even by the lazy
+  // attach — those decode (and checksum) at attach time.
+  auto [c_offset, c_size] = V2SectionExtent(blob_, 13);  // MATRIXCOLS
+  ASSERT_GT(c_size, 0u);
+  std::string compact_corrupt = blob_;
+  compact_corrupt[c_offset] ^= 0x01;
+  auto rejected =
+      AttachBinarySnapshot(MappedRegion::FromBuffer(compact_corrupt));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotAttachTest, EagerAttachRejectsEveryTruncationAndFlip) {
+  SnapshotAttachOptions eager;
+  eager.eager_crc = true;
+  for (size_t len = 0; len < blob_.size(); len += 61) {
+    auto region = MappedRegion::FromBuffer(
+        std::string_view(blob_).substr(0, len));
+    auto attached = AttachBinarySnapshot(region, eager);
+    ASSERT_FALSE(attached.ok()) << "truncated to " << len;
+    EXPECT_EQ(attached.status().code(), StatusCode::kInvalidArgument);
+  }
+  for (size_t at = 0; at < blob_.size(); at += 17) {
+    std::string corrupt = blob_;
+    corrupt[at] = static_cast<char>(corrupt[at] ^ 0x20);
+    auto attached =
+        AttachBinarySnapshot(MappedRegion::FromBuffer(corrupt), eager);
+    ASSERT_FALSE(attached.ok()) << "flip at byte " << at;
+    EXPECT_EQ(attached.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// Many threads attach from one shared region and query concurrently —
+// the mmap-attach leg of the TSan CI job (*Concurrent* filter).
+TEST_F(SnapshotAttachTest, ConcurrentAttachAndQueryFromOneRegion) {
+  auto region = MappedRegion::FromBuffer(blob_);
+  // One shared pre-attached instance, queried from every thread...
+  auto shared = AttachBinarySnapshot(region);
+  ASSERT_TRUE(shared.ok());
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // ...plus a private attach per thread against the same region.
+      auto mine = AttachBinarySnapshot(region);
+      if (!mine.ok()) {
+        ++failures;
+        return;
+      }
+      S3kOptions opts;
+      opts.k = 3;
+      for (int i = 0; i < 25; ++i) {
+        const auto& inst = (i % 2 == 0) ? **shared : **mine;
+        auto r = S3kSearcher(inst, opts).Search(
+            Query{static_cast<social::UserId>(t % 3), {fig_.kw_degree}});
+        if (!r.ok()) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(SnapshotVersionTest, ForceV1EnvVarPinsTheDefault) {
+  auto fig = s3::testing::BuildFigure1();
+  ASSERT_EQ(::setenv("S3_FORCE_SNAPSHOT_V1", "ON", 1), 0);
+  auto v1 = SaveBinarySnapshot(*fig.instance);
+  ::unsetenv("S3_FORCE_SNAPSHOT_V1");
+  auto v2 = SaveBinarySnapshot(*fig.instance);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  ASSERT_TRUE(InspectBinarySnapshot(*v1).ok());
+  EXPECT_EQ(InspectBinarySnapshot(*v1)->version, kBinarySnapshotV1);
+  EXPECT_EQ(InspectBinarySnapshot(*v2)->version, kBinarySnapshotV2);
+  // Both load back to the same instance.
+  auto a = LoadBinarySnapshot(*v1);
+  auto b = LoadBinarySnapshot(*v2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectSameDerivedState(**a, **b);
+}
+
+TEST(SnapshotVersionTest, UnknownVersionIsRejected) {
+  auto fig = s3::testing::BuildFigure1();
+  auto saved = SaveBinarySnapshot(*fig.instance, 7);
+  EXPECT_EQ(saved.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- golden fixtures ---------------------------------------------------
+// Committed bytes of a Figure 1 snapshot in each format. A codec change
+// that can no longer read them is a compatibility break, not a test to
+// update: v1 and v2 are both read-forever formats.
+
+std::string ReadGolden(const std::string& name) {
+  std::ifstream in(std::string(S3_TEST_DATA_DIR "/") + name,
+                   std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden fixture " << name;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class GoldenSnapshotTest : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(Formats, GoldenSnapshotTest,
+                         ::testing::Values("figure1_v1.snap",
+                                           "figure1_v2.snap"),
+                         [](const auto& info) {
+                           return std::string(info.param, 8, 2);
+                         });
+
+TEST_P(GoldenSnapshotTest, LoadsAndMatchesFreshBuild) {
+  const std::string blob = ReadGolden(GetParam());
+  ASSERT_FALSE(blob.empty());
+  auto fig = s3::testing::BuildFigure1();
+
+  auto loaded = LoadBinarySnapshot(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameDerivedState(**loaded, *fig.instance,
+                         /*check_identity=*/false);
+  ExpectSameQueryResults(**loaded, *fig.instance,
+                         Query{fig.u1, {fig.kw_degree}});
+
+  auto attached = AttachBinarySnapshot(MappedRegion::FromBuffer(blob));
+  ASSERT_TRUE(attached.ok()) << attached.status().ToString();
+  ExpectSameDerivedState(**attached, *fig.instance,
+                         /*check_identity=*/false);
 }
 
 // ---- robustness: corrupt text input ------------------------------------
