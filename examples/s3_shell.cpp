@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "s3/s3.h"
@@ -80,7 +81,9 @@ int main(int argc, char** argv) {
                "instance ready: %zu users, %zu docs, %zu tags\n"
                "query format: <seeker-uri> <keyword> [keyword...]\n"
                ":eps <value> sets a certified anytime slack for later "
-               "queries (0 = exact)\n",
+               "queries (0 = exact)\n"
+               ":threads <n> sets intra-query threads (0 = auto; results "
+               "are identical at any count)\n",
                inst->UserCount(), inst->docs().DocumentCount(),
                inst->TagCount());
 
@@ -90,7 +93,9 @@ int main(int argc, char** argv) {
 
   core::S3kOptions opts;
   opts.k = 5;
-  core::S3kSearcher searcher(*inst, opts);
+  // Re-emplaced by ":threads <n>" (the pool is built at construction).
+  std::optional<core::S3kSearcher> searcher;
+  searcher.emplace(*inst, opts);
 
   // Session-wide per-request options, adjusted with ":eps <value>".
   core::QueryOptions qopts;
@@ -105,6 +110,20 @@ int main(int argc, char** argv) {
     std::istringstream in(line);
     std::string seeker_uri;
     in >> seeker_uri;
+    if (seeker_uri == ":threads") {
+      long n = -1;
+      if (!(in >> n) || n < 0) {
+        std::printf("! usage: :threads <count> (0 = auto)\n");
+        continue;
+      }
+      opts.threads = static_cast<unsigned>(n);
+      searcher.reset();
+      searcher.emplace(*inst, opts);
+      std::printf("-- intra-query threads=%u%s\n",
+                  searcher->options().threads,
+                  n == 0 ? " (auto)" : "");
+      continue;
+    }
     if (seeker_uri == ":eps") {
       double eps = 0.0;
       if (!(in >> eps) || eps < 0.0) {
@@ -143,7 +162,7 @@ int main(int argc, char** argv) {
     if (q.keywords.empty()) continue;
 
     core::SearchStats st;
-    auto result = searcher.Search(
+    auto result = searcher->Search(
         core::QueryRequest(q.seeker, q.keywords, qopts), &st);
     if (!result.ok()) {
       std::printf("! %s\n", result.status().ToString().c_str());

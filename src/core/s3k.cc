@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <functional>
 #include <limits>
+#include <thread>
 #include <unordered_map>
 
 #include "common/timer.h"
@@ -40,6 +42,11 @@ void ResetFrontier(social::BatchFrontier& f, size_t total_rows,
     f.Init(total_rows, lanes);
   }
 }
+
+// Minimum static per-iteration work (reverse-index entries + bound
+// arithmetic terms) before the component fan-out pays for its task
+// dispatch; below it the iteration runs serially or lane-striped.
+constexpr uint64_t kMinFanoutWork = 2048;
 
 }  // namespace
 
@@ -143,9 +150,38 @@ Result<CandidatePlan> BuildCandidatePlan(
 
 S3kSearcher::S3kSearcher(const S3Instance& instance, S3kOptions options)
     : instance_(instance), options_(options) {
+  // Thread-count resolution. The S3_TEST_THREADS override applies only
+  // when the caller left the default (1): it lets CI run the whole
+  // suite through the parallel path — safe because results are
+  // bit-for-bit identical at every thread count — without touching
+  // call sites that picked a width deliberately.
+  if (options_.threads == 1) {
+    if (const char* env = std::getenv("S3_TEST_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v >= 0) options_.threads = static_cast<unsigned>(v);
+    }
+  }
+  if (options_.threads == 0) {  // auto
+    options_.threads = std::thread::hardware_concurrency();
+    if (options_.threads == 0) options_.threads = 1;
+  }
   if (options_.threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.threads - 1);
   }
+}
+
+const std::vector<uint32_t>& S3kSearcher::RowsOfReachRoot(uint32_t root) {
+  if (!rows_by_root_built_) {
+    const social::EntityLayout& layout = instance_.layout();
+    const uint32_t total = layout.total();
+    for (uint32_t row = 0; row < total; ++row) {
+      const social::UserId owner =
+          instance_.OwnerOfEntity(layout.Entity(row));
+      rows_by_root_[instance_.ReachRootOfUser(owner)].push_back(row);
+    }
+    rows_by_root_built_ = true;  // ascending pass → each list is sorted
+  }
+  return rows_by_root_[root];
 }
 
 Result<std::vector<ResultEntry>> S3kSearcher::Search(
@@ -235,6 +271,38 @@ Result<std::vector<BatchQueryResult>> S3kSearcher::SearchBatchWithPlan(
   CandidateBoundEngine engine(instance_.docs(), n_keywords, total_rows,
                               plan.per_comp, L);
 
+  // ---- intra-query scheduling. Effective concurrency = the calling
+  // thread + pool helpers, capped by the serving layer's per-query
+  // thread limit (the helper cap divides one machine among busy
+  // service workers without resizing pools).
+  size_t eff_threads = 1 + (pool_ != nullptr ? pool_->WorkerCount() : 0);
+  if (thread_limit_ > 0) {
+    eff_threads = std::min(eff_threads, static_cast<size_t>(thread_limit_));
+  }
+  if (pool_ != nullptr) pool_->SetHelperLimit(eff_threads - 1);
+  // Component fan-out verdict: shard the per-iteration body across
+  // component slots only when the plan is genuinely multi-component,
+  // the per-iteration work is worth a dispatch, and no single slot
+  // dominates (a plan with one 90% slot serializes on its fattest task
+  // anyway — lane/candidate striping serves it better). Slot work is
+  // static — rev entries folded plus candidate-bound arithmetic — so
+  // the verdict is taken once per query. The fan-out changes schedules
+  // only, never results (see bound_engine.h's sharding argument).
+  bool use_fanout = false;
+  if (pool_ != nullptr && eff_threads > 1 && n_slots >= 2) {
+    uint64_t work = 0, max_work = 0;
+    for (size_t t = 0; t < n_slots; ++t) {
+      const uint64_t w =
+          engine.SlotRevEntries(static_cast<uint32_t>(t)) +
+          static_cast<uint64_t>(engine.SlotEnd(static_cast<uint32_t>(t)) -
+                                engine.SlotBegin(static_cast<uint32_t>(t))) *
+              n_keywords * L;
+      work += w;
+      max_work = std::max(max_work, w);
+    }
+    use_fanout = work >= kMinFanoutWork && max_work * 4 <= work * 3;
+  }
+
   std::vector<BatchQueryResult> out(B);
   std::vector<size_t> ks(B);
   // Per-lane anytime parameters. A zero deadline inherits the
@@ -253,6 +321,7 @@ Result<std::vector<BatchQueryResult>> S3kSearcher::SearchBatchWithPlan(
   for (size_t s = 0; s < B; ++s) {
     ks[s] = batch[s].k > 0 ? batch[s].k : options_.k;
     SearchStats& st = out[s].stats;
+    st.used_component_fanout = use_fanout;
     st.extension_keywords = plan.extension_keywords;
     st.components_passing = n_slots;
     st.candidates_total = engine.size();
@@ -268,17 +337,18 @@ Result<std::vector<BatchQueryResult>> S3kSearcher::SearchBatchWithPlan(
   std::sort(slots_by_cap.begin(), slots_by_cap.end(),
             [&](uint32_t a, uint32_t b) { return comp_cap[a] > comp_cap[b]; });
 
-  // Discovery watch list: the member rows of every passing component,
-  // tagged with their slot. A component is discovered in a lane the
+  // Discovery watch lists, one per component slot: the member rows of
+  // the passing component. A component is discovered in a lane the
   // first time that lane's frontier holds mass on one of its rows; a
   // row is compacted away once every unfinished lane has discovered
-  // its slot, so the list only shrinks.
-  std::vector<uint32_t> watch_rows, watch_slots;
+  // its slot, so each list only shrinks. Slot-local lists let the
+  // fan-out scan them inside the per-slot tasks; iterating slots in
+  // order reproduces the old slot-major interleaved sweep exactly.
+  std::vector<std::vector<uint32_t>> slot_watch(n_slots);
   for (size_t i = 0; i < n_slots; ++i) {
-    for (uint32_t row : instance_.components().Members(plan.passing[i])) {
-      watch_rows.push_back(row);
-      watch_slots.push_back(static_cast<uint32_t>(i));
-    }
+    const std::vector<uint32_t>& members =
+        instance_.components().Members(plan.passing[i]);
+    slot_watch[i].assign(members.begin(), members.end());
   }
 
   // ---- 4. Exploration state.
@@ -298,6 +368,23 @@ Result<std::vector<BatchQueryResult>> S3kSearcher::SearchBatchWithPlan(
   auto slot_reachable = [&](uint32_t slot, size_t s) {
     return !have_reach || plan.comp_reach_root[slot] == seeker_root[s];
   };
+
+  // Pull-restricted propagation: frontier mass seeded at a seeker can
+  // only ever reach rows whose owner shares the seeker's reach root
+  // (T's entries never cross reach components), so when every lane
+  // agrees on the root, the dense (pull) propagation step can gather
+  // just those rows — every skipped row gathers exactly 0.0, keeping
+  // the step bit-for-bit. Only worth the indirection when the
+  // restriction actually cuts the sweep down.
+  const std::vector<uint32_t>* pull_rows = nullptr;
+  bool same_root = true;
+  for (size_t s = 1; s < B; ++s) {
+    same_root = same_root && seeker_root[s] == seeker_root[0];
+  }
+  if (same_root) {
+    const std::vector<uint32_t>& rr = RowsOfReachRoot(seeker_root[0]);
+    if (rr.size() * 2 <= total_rows) pull_rows = &rr;
+  }
 
   social::BatchFrontier& frontier = frontier_;
   social::BatchFrontier& next = next_;
@@ -374,6 +461,79 @@ Result<std::vector<BatchQueryResult>> S3kSearcher::SearchBatchWithPlan(
     frontier.ZeroLane(s);
   };
 
+  // Fan-out scratch. discovered_now is written slot-locally inside the
+  // B1 tasks and applied at the serial barrier in canonical slot-major
+  // / lane-minor order; slot_any_active tracks "some lane activated
+  // this slot" (= union-list membership, per whole slots);
+  // cleaned_now[t * B + s] carries the per-slot kill counts to the
+  // barrier (an integer sum, so task order is immaterial).
+  std::vector<uint8_t> discovered_now(n_slots * L, 0);
+  std::vector<uint8_t> slot_any_active(n_slots, 0);
+  std::vector<size_t> cleaned_now;
+  if (use_fanout) {
+    cleaned_now.assign(n_slots * B, 0);
+    if (slot_orders_.size() < n_slots * B) slot_orders_.resize(n_slots * B);
+  }
+
+  // Runs one per-slot task per component slot: striped on the pool in
+  // fan-out mode, in ascending slot order serially otherwise. Both
+  // schedules produce identical state — the tasks write disjoint
+  // per-slot ranges and every cross-slot effect goes through a
+  // canonical-order barrier — so the mode is invisible in results.
+  auto run_slots = [&](const std::function<void(size_t)>& fn) {
+    if (use_fanout) {
+      pool_->ParallelFor(n_slots, fn);
+    } else {
+      for (size_t t = 0; t < n_slots; ++t) fn(t);
+    }
+  };
+
+  // Deterministic reduction for the fan-out's stop check: k-way merge
+  // of the per-slot sorted orders under the same total-order
+  // comparator the serial path sorts with ((upper desc, node asc);
+  // nodes are unique), so the merged sequence is exactly what sorting
+  // the concatenated lists would produce.
+  struct SlotCursor {
+    uint32_t slot;
+    uint32_t idx;
+  };
+  std::vector<SlotCursor> merge_heap;
+  auto merge_slot_orders = [&](size_t s, std::vector<uint32_t>& order) {
+    auto before = [&](uint32_t a, uint32_t b) {
+      if (engine.upper(a, s) != engine.upper(b, s)) {
+        return engine.upper(a, s) > engine.upper(b, s);
+      }
+      return engine.node(a) < engine.node(b);
+    };
+    auto heap_cmp = [&](const SlotCursor& x, const SlotCursor& y) {
+      return before(slot_orders_[y.slot * B + s][y.idx],
+                    slot_orders_[x.slot * B + s][x.idx]);
+    };
+    merge_heap.clear();
+    size_t total = 0;
+    for (size_t t = 0; t < n_slots; ++t) {
+      if (!discovered[t * L + s]) continue;
+      const std::vector<uint32_t>& so = slot_orders_[t * B + s];
+      if (!so.empty()) {
+        merge_heap.push_back({static_cast<uint32_t>(t), 0});
+        total += so.size();
+      }
+    }
+    order.reserve(total);
+    std::make_heap(merge_heap.begin(), merge_heap.end(), heap_cmp);
+    while (!merge_heap.empty()) {
+      std::pop_heap(merge_heap.begin(), merge_heap.end(), heap_cmp);
+      SlotCursor& c = merge_heap.back();
+      const std::vector<uint32_t>& so = slot_orders_[c.slot * B + s];
+      order.push_back(so[c.idx]);
+      if (++c.idx < so.size()) {
+        std::push_heap(merge_heap.begin(), merge_heap.end(), heap_cmp);
+      } else {
+        merge_heap.pop_back();
+      }
+    }
+  };
+
   // ---- 5. Main loop: one shared CSR walk per iteration, per-lane
   // bookkeeping per seeker. Per lane this runs exactly the
   // single-seeker sequence (a zero delta / zero mass is bitwise inert:
@@ -393,7 +553,7 @@ Result<std::vector<BatchQueryResult>> S3kSearcher::SearchBatchWithPlan(
       if (!finished[s] && !exhausted[s]) any_frontier = true;
     }
     if (any_frontier) {
-      matrix.PropagateBatchAdaptive(frontier, next, pool_.get());
+      matrix.PropagateBatchAdaptive(frontier, next, pool_.get(), pull_rows);
       std::swap(frontier, next);
       for (size_t s = 0; s < B; ++s) {
         if (!finished[s] && !exhausted[s] && !frontier.LaneHasMass(s)) {
@@ -402,51 +562,73 @@ Result<std::vector<BatchQueryResult>> S3kSearcher::SearchBatchWithPlan(
       }
       const double factor =
           c_gamma * std::pow(gamma, -static_cast<double>(n));
-      // Fold deltas over the smaller domain: the union frontier, or
-      // the rows that actually feed candidates (once the frontier
-      // saturates the graph, the source-row sweep is much narrower).
+      // Fold deltas over the smaller domain: the sparse union frontier
+      // (serial — a narrow frontier isn't worth a task dispatch), or
+      // the rows that actually feed candidates, sharded by component
+      // slot. Per partial sum the per-slot fold applies contributions
+      // in the same ascending-row order as a global source-row sweep,
+      // so both domains — under any slot schedule — produce
+      // bit-identical sums.
       const std::vector<uint32_t>& src_rows = engine.SourceRows();
-      auto fold_row = [&](uint32_t row) {
-        const double* v = &frontier.values[static_cast<size_t>(row) * L];
-        bool any = false;
-        for (size_t l = 0; l < L; ++l) {
-          d[l] = factor * v[l];
-          any = any || v[l] != 0.0;
-        }
-        if (any) engine.ApplyDeltaBatch(row, d);
-      };
-      if (frontier.nonzero.size() <= src_rows.size()) {
-        for (uint32_t row : frontier.nonzero) fold_row(row);
-      } else {
-        for (uint32_t row : src_rows) fold_row(row);
-      }
-      // Discovery sweep over the rows of still-undiscovered passing
-      // components, per lane; a row is compacted away once no
-      // unfinished lane watches its slot.
-      size_t w = 0;
-      for (size_t i = 0; i < watch_rows.size(); ++i) {
-        const uint32_t slot = watch_slots[i];
-        const uint32_t row = watch_rows[i];
-        const double* v = &frontier.values[static_cast<size_t>(row) * L];
-        bool keep = false;
-        for (size_t s = 0; s < B; ++s) {
-          if (finished[s] || discovered[slot * L + s]) continue;
-          if (v[s] != 0.0) {
-            discovered[slot * L + s] = 1;
-            ++n_discovered[s];
-            engine.ActivateSlot(slot, s);
-          } else {
-            keep = true;
+      const bool sparse_fold = frontier.nonzero.size() <= src_rows.size();
+      if (sparse_fold) {
+        for (uint32_t row : frontier.nonzero) {
+          const double* v = &frontier.values[static_cast<size_t>(row) * L];
+          bool any = false;
+          for (size_t l = 0; l < L; ++l) {
+            d[l] = factor * v[l];
+            any = any || v[l] != 0.0;
           }
-        }
-        if (keep) {
-          watch_rows[w] = row;
-          watch_slots[w] = slot;
-          ++w;
+          if (any) engine.ApplyDeltaBatch(row, d);
         }
       }
-      watch_rows.resize(w);
-      watch_slots.resize(w);
+      // B1: per-slot fold (dense domain) + discovery scan. Tasks write
+      // disjoint state — slot-local partial sums, slot-local
+      // discovered_now flags and watch lists — and the barrier below
+      // applies activations in canonical order, so the schedule never
+      // shows through.
+      run_slots([&](size_t t) {
+        if (!sparse_fold) {
+          engine.FoldFrontierSlot(static_cast<uint32_t>(t),
+                                  frontier.values.data(), factor);
+        }
+        std::vector<uint32_t>& watch = slot_watch[t];
+        if (watch.empty()) return;
+        size_t w = 0;
+        for (uint32_t row : watch) {
+          const double* v = &frontier.values[static_cast<size_t>(row) * L];
+          bool keep = false;
+          for (size_t s = 0; s < B; ++s) {
+            if (finished[s] || discovered[t * L + s] ||
+                discovered_now[t * L + s]) {
+              continue;
+            }
+            if (v[s] != 0.0) {
+              discovered_now[t * L + s] = 1;
+            } else {
+              keep = true;
+            }
+          }
+          if (keep) watch[w++] = row;
+        }
+        watch.resize(w);
+      });
+      // Activation barrier, canonical slot-major / lane-minor order.
+      // ActivateSlot appends to shared per-lane active lists and the
+      // union list; per lane the append order is ascending slot — the
+      // order the serial slot-major sweep produces — and the union
+      // list's internal order is never observable (bound refresh is a
+      // pure per-candidate map).
+      for (size_t t = 0; t < n_slots; ++t) {
+        for (size_t s = 0; s < B; ++s) {
+          if (!discovered_now[t * L + s]) continue;
+          discovered_now[t * L + s] = 0;
+          discovered[t * L + s] = 1;
+          ++n_discovered[s];
+          engine.ActivateSlot(static_cast<uint32_t>(t), s);
+          slot_any_active[t] = 1;
+        }
+      }
     }
 
     // Bounds. Once a lane's frontier is exhausted there are no longer
@@ -456,7 +638,48 @@ Result<std::vector<BatchQueryResult>> S3kSearcher::SearchBatchWithPlan(
       tails[s] = exhausted[s] ? 0.0 : TailBound(gamma, n);
     }
     for (size_t s = B; s < L; ++s) tails[s] = 0.0;
-    engine.RefreshBoundsBatch(tails.data(), pool_.get());
+    if (use_fanout) {
+      // B2: per-slot bound refresh, dominated-candidate clean, and
+      // local order build — disjoint writes per slot (bounds, alive
+      // flags, order buffers). Gating refresh on slot_any_active makes
+      // the refreshed set exactly RefreshBoundsBatch's union list (a
+      // pure per-candidate map, so membership equality is bitwise
+      // equality); the clean keeps each slot's global in-pass pair
+      // order (kills gate later dominance tests).
+      run_slots([&](size_t t) {
+        if (!slot_any_active[t]) return;
+        engine.RefreshBoundsSlot(static_cast<uint32_t>(t), tails.data());
+        for (size_t s = 0; s < B; ++s) {
+          std::vector<uint32_t>& so = slot_orders_[t * B + s];
+          so.clear();
+          if (finished[s]) continue;
+          if (!discovered[t * L + s]) {
+            cleaned_now[t * B + s] = 0;
+            continue;
+          }
+          cleaned_now[t * B + s] = engine.CleanDominatedSlot(
+              static_cast<uint32_t>(t), options_.epsilon, s);
+          for (uint32_t ci = engine.SlotBegin(static_cast<uint32_t>(t));
+               ci < engine.SlotEnd(static_cast<uint32_t>(t)); ++ci) {
+            if (engine.alive(ci, s)) so.push_back(ci);
+          }
+          std::sort(so.begin(), so.end(), [&](uint32_t a, uint32_t b) {
+            if (engine.upper(a, s) != engine.upper(b, s)) {
+              return engine.upper(a, s) > engine.upper(b, s);
+            }
+            return engine.node(a) < engine.node(b);
+          });
+        }
+      });
+      for (size_t s = 0; s < B; ++s) {
+        if (finished[s]) continue;
+        for (size_t t = 0; t < n_slots; ++t) {
+          out[s].stats.candidates_cleaned += cleaned_now[t * B + s];
+        }
+      }
+    } else {
+      engine.RefreshBoundsBatch(tails.data(), pool_.get());
+    }
 
     // Threshold per lane: best possible score of any undiscovered
     // document — over the *reachable* undiscovered components only.
@@ -480,11 +703,13 @@ Result<std::vector<BatchQueryResult>> S3kSearcher::SearchBatchWithPlan(
     // CleanCandidatesList per lane: drop candidates dominated by a
     // vertical neighbor (sound forever: lower bounds only grow, uppers
     // only shrink). The engine scans its precomputed neighbor-pair
-    // list.
-    for (size_t s = 0; s < B; ++s) {
-      if (finished[s]) continue;
-      out[s].stats.candidates_cleaned +=
-          engine.CleanDominated(options_.epsilon, s);
+    // list. In fan-out mode the per-slot clean already ran inside B2.
+    if (!use_fanout) {
+      for (size_t s = 0; s < B; ++s) {
+        if (finished[s]) continue;
+        out[s].stats.candidates_cleaned +=
+            engine.CleanDominated(options_.epsilon, s);
+      }
     }
 
     // StopCondition (paper Algorithm 2), per lane. A converged lane
@@ -493,15 +718,19 @@ Result<std::vector<BatchQueryResult>> S3kSearcher::SearchBatchWithPlan(
       if (finished[s]) continue;
       std::vector<uint32_t>& order = orders_[s];
       order.clear();
-      for (uint32_t ci : engine.ActiveCandidates(s)) {
-        if (engine.alive(ci, s)) order.push_back(ci);
-      }
-      std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-        if (engine.upper(a, s) != engine.upper(b, s)) {
-          return engine.upper(a, s) > engine.upper(b, s);
+      if (use_fanout) {
+        merge_slot_orders(s, order);
+      } else {
+        for (uint32_t ci : engine.ActiveCandidates(s)) {
+          if (engine.alive(ci, s)) order.push_back(ci);
         }
-        return engine.node(a) < engine.node(b);
-      });
+        std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+          if (engine.upper(a, s) != engine.upper(b, s)) {
+            return engine.upper(a, s) > engine.upper(b, s);
+          }
+          return engine.node(a) < engine.node(b);
+        });
+      }
       const size_t k_s = ks[s];
       const double threshold = last_threshold[s];
 

@@ -14,6 +14,7 @@
 #define S3_CORE_S3K_H_
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -103,8 +104,17 @@ struct S3kOptions {
   // Slack for floating-point comparisons in the stop condition; also
   // the de-facto tie-breaking precision (paper §4.2).
   double epsilon = 1e-12;
-  // Worker threads for candidate building and bound refresh (§5.2
-  // reports a ~2x speed-up with 8 threads).
+  // Worker threads for intra-query parallelism: candidate building,
+  // propagation, bound refresh, and — for fat multi-component plans —
+  // per-component fan-out of the whole iteration body (§5.2 reports a
+  // ~2x speed-up with 8 threads; the component fan-out is what beats
+  // it). 0 means "auto": std::thread::hardware_concurrency(), or the
+  // serving layer's intra_thread_budget when the searcher runs under a
+  // QueryService. The default 1 (serial) can be overridden for a whole
+  // test/bench binary via the S3_TEST_THREADS environment variable
+  // (parsed only when threads is left at 1; results are bit-for-bit
+  // identical at every thread count, so the override is behaviorally
+  // invisible).
   unsigned threads = 1;
   // DEPRECATED: use QueryOptions::deadline_seconds. Kept as an alias
   // so pre-QueryRequest deployments keep their anytime budget: a
@@ -196,6 +206,12 @@ struct SearchStats {
   // The lane's deadline (QueryOptions::deadline_seconds, or the legacy
   // time_budget_seconds) expired before convergence.
   bool deadline_exceeded = false;
+  // Scheduling observability (NOT part of the bit-for-bit result
+  // contract — it reports which schedule ran, which legitimately
+  // differs across thread counts): the per-iteration body was sharded
+  // across component slots (s3k.cc's cost-model verdict). Tests use it
+  // to prove the parallel path was actually exercised.
+  bool used_component_fanout = false;
   // All candidate documents of passing components (the candidate
   // universe used by the Fig. 8 quality metrics).
   std::vector<doc::NodeId> candidate_nodes;
@@ -288,7 +304,23 @@ class S3kSearcher {
   // builds instead of building plans single-threaded.
   ThreadPool* intra_pool() const { return pool_.get(); }
 
+  // Caps the effective intra-query concurrency (caller + pool helpers)
+  // of subsequent searches without resizing the pool; 0 removes the
+  // cap. The serving layer calls this per dequeued query to divide the
+  // machine's thread budget among currently-busy workers — a solo
+  // query on an idle service gets the whole pool. Must not be called
+  // while this searcher is mid-search (one searcher runs one query at
+  // a time). Results are unaffected (bit-for-bit at every limit).
+  void set_thread_limit(unsigned limit) { thread_limit_ = limit; }
+  unsigned thread_limit() const { return thread_limit_; }
+
  private:
+  // Sorted entity rows whose owner's reach root is `root` — the only
+  // rows a frontier seeded at such a user can ever hold mass on, hence
+  // a sound pull restriction for PropagateBatchAdaptive. Built lazily
+  // (one pass over the layout) on the first fat query that wants it.
+  const std::vector<uint32_t>& RowsOfReachRoot(uint32_t root);
+
   const S3Instance& instance_;
   S3kOptions options_;
   // Persistent worker pool for intra-query parallelism (created in the
@@ -300,6 +332,15 @@ class S3kSearcher {
   social::BatchFrontier frontier_, next_;
   // Per-lane active candidates by upper desc.
   std::vector<std::vector<uint32_t>> orders_;
+  // Per-(slot, lane) sorted partial orders the component fan-out merges
+  // at the iteration barrier (indexed [slot * batch_size + lane]).
+  std::vector<std::vector<uint32_t>> slot_orders_;
+  // Effective-concurrency cap (see set_thread_limit; 0 = uncapped).
+  unsigned thread_limit_ = 0;
+  // Lazy reach-root → member-rows index for pull-restricted
+  // propagation (keyed by reach root; rows ascending).
+  std::unordered_map<uint32_t, std::vector<uint32_t>> rows_by_root_;
+  bool rows_by_root_built_ = false;
 };
 
 }  // namespace s3::core

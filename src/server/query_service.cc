@@ -31,6 +31,11 @@ QueryService::QueryService(std::shared_ptr<const core::S3Instance> snapshot,
       options_(options),
       queue_(options.queue_capacity) {
   if (options_.workers < 1) options_.workers = 1;
+  intra_budget_ = options_.intra_thread_budget;
+  if (intra_budget_ == 0) {  // auto
+    intra_budget_ = std::thread::hardware_concurrency();
+    if (intra_budget_ == 0) intra_budget_ = 1;
+  }
   if (options_.enable_cache) {
     cache_ = std::make_unique<ProximityCache>(
         options_.cache_shards, options_.cache_capacity_per_shard);
@@ -206,8 +211,24 @@ void QueryService::WorkerLoop() {
   // shared_ptr keeps its generation alive until it rebinds.
   std::shared_ptr<const core::S3Instance> bound;
   std::optional<core::S3kSearcher> searcher;
+  // Each worker's searcher resolves `threads = 0` to the service-wide
+  // intra-query budget; the per-query thread *limit* below then divides
+  // that budget among the workers actually busy right now.
+  core::S3kOptions search_opts = options_.search;
+  if (search_opts.threads == 0) search_opts.threads = intra_budget_;
 
   while (auto popped = queue_.Pop()) {
+    // Busy-worker accounting brackets the whole task (the guard
+    // decrements on every exit path, error continues included): the
+    // instantaneous busy count is the divisor of each query's share of
+    // the machine's thread budget.
+    const unsigned busy =
+        busy_workers_.fetch_add(1, std::memory_order_relaxed) + 1;
+    struct BusyGuard {
+      std::atomic<unsigned>& counter;
+      ~BusyGuard() { counter.fetch_sub(1, std::memory_order_relaxed); }
+    } busy_guard{busy_workers_};
+
     Task& task = *popped;
     QueryResponse response;
     response.queue_seconds = task.timer.ElapsedSeconds();
@@ -219,9 +240,14 @@ void QueryService::WorkerLoop() {
     if (current != bound) {
       searcher.reset();
       bound = std::move(current);
-      searcher.emplace(*bound, options_.search);
+      searcher.emplace(*bound, search_opts);
     }
     response.generation = bound->generation();
+    // This query's share of the intra-query thread budget. An idle
+    // service hands a solo query the whole budget; a loaded one clamps
+    // every query toward 1 (results are bit-for-bit identical at any
+    // limit, so the clamp is purely a scheduling decision).
+    searcher->set_thread_limit(std::max(1u, intra_budget_ / busy));
 
     auto plan = ResolvePlan(*bound, task.query, searcher->intra_pool(),
                             &response.cache_hit);

@@ -66,8 +66,18 @@ struct QueryServiceOptions {
   size_t queue_capacity = 256;
   // Per-worker searcher configuration. `search.threads` is the
   // *intra*-query parallelism of one worker — with many workers the
-  // default of 1 avoids oversubscription.
+  // default of 1 avoids oversubscription; `search.threads = 0` means
+  // "auto": size each worker's pool to intra_thread_budget.
   core::S3kOptions search;
+  // Machine-wide intra-query thread budget shared by the busy workers:
+  // each dequeued query runs with an effective concurrency of
+  // max(1, budget / busy_workers), enforced through the searcher's
+  // thread limit — so N workers × M intra-query threads can't
+  // oversubscribe the machine, while a solo fat query on an idle
+  // service gets the whole budget (= the whole pool when
+  // search.threads = 0). 0 means "auto":
+  // std::thread::hardware_concurrency().
+  unsigned intra_thread_budget = 0;
   // Proximity/candidate cache; disable for ablation.
   bool enable_cache = true;
   size_t cache_shards = 8;
@@ -243,6 +253,11 @@ class QueryService {
   BoundedQueue<Task> queue_;
   std::unique_ptr<ProximityCache> cache_;
   std::vector<std::thread> workers_;
+  // Resolved intra_thread_budget (0 replaced by hardware concurrency).
+  unsigned intra_budget_ = 1;
+  // Workers currently executing a query (not blocked on Pop): the
+  // divisor of the per-query thread-budget share.
+  std::atomic<unsigned> busy_workers_{0};
   std::atomic<bool> shutdown_{false};
   eval::LatencyRecorder latency_;
 

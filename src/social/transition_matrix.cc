@@ -391,16 +391,25 @@ void TransitionMatrix::PropagateBatchPush(const BatchFrontier& in,
   touched.resize(w);
 }
 
-void TransitionMatrix::PropagateBatchPull(const BatchFrontier& in,
-                                          BatchFrontier& out,
-                                          ThreadPool* pool) const {
+void TransitionMatrix::PropagateBatchPull(
+    const BatchFrontier& in, BatchFrontier& out, ThreadPool* pool,
+    const std::vector<uint32_t>* pull_rows) const {
   const size_t L = in.lanes;
   out.Clear();
-  const size_t total = rows();
+  // When a restriction list is given, only those rows are gathered —
+  // the caller guarantees every skipped row gathers exactly 0.0, so
+  // leaving it zeroed (Clear above) is what the full sweep would have
+  // stored. The list is ascending, so nonzero stays sorted.
+  const size_t total = pull_rows != nullptr ? pull_rows->size() : rows();
+  auto row_at = [&](size_t i) {
+    return pull_rows != nullptr ? (*pull_rows)[i]
+                                : static_cast<uint32_t>(i);
+  };
   const double* inv = in.values.data();
   if (pool == nullptr) {
     double acc[kMaxFrontierLanes];
-    for (size_t row = 0; row < total; ++row) {
+    for (size_t i = 0; i < total; ++i) {
+      const uint32_t row = row_at(i);
       const uint64_t begin = t_row_ptr_[row], end = t_row_ptr_[row + 1];
       GatherRowD(L, t_cols_.data() + begin, t_vals_.data() + begin,
                  end - begin, inv, acc);
@@ -412,8 +421,8 @@ void TransitionMatrix::PropagateBatchPull(const BatchFrontier& in,
         }
       }
       if (any) {
-        std::copy(acc, acc + L, &out.values[row * L]);
-        out.nonzero.push_back(static_cast<uint32_t>(row));
+        std::copy(acc, acc + L, &out.values[static_cast<size_t>(row) * L]);
+        out.nonzero.push_back(row);
       }
     }
     return;
@@ -426,13 +435,14 @@ void TransitionMatrix::PropagateBatchPull(const BatchFrontier& in,
   std::vector<std::array<uint8_t, kMaxFrontierLanes>> mass_per_chunk(
       n_chunks);
   pool->ParallelFor(n_chunks, [&](size_t c) {
-    const size_t begin_row = c * chunk;
-    const size_t end_row = std::min(total, begin_row + chunk);
+    const size_t begin_i = c * chunk;
+    const size_t end_i = std::min(total, begin_i + chunk);
     auto& nz = nz_per_chunk[c];
     auto& lm = mass_per_chunk[c];
     lm.fill(0);
     double acc[kMaxFrontierLanes];
-    for (size_t row = begin_row; row < end_row; ++row) {
+    for (size_t i = begin_i; i < end_i; ++i) {
+      const uint32_t row = row_at(i);
       const uint64_t begin = t_row_ptr_[row], end = t_row_ptr_[row + 1];
       GatherRowD(L, t_cols_.data() + begin, t_vals_.data() + begin,
                  end - begin, inv, acc);
@@ -444,8 +454,8 @@ void TransitionMatrix::PropagateBatchPull(const BatchFrontier& in,
         }
       }
       if (any) {
-        std::copy(acc, acc + L, &out.values[row * L]);
-        nz.push_back(static_cast<uint32_t>(row));
+        std::copy(acc, acc + L, &out.values[static_cast<size_t>(row) * L]);
+        nz.push_back(row);
       }
     }
   });
@@ -458,24 +468,33 @@ void TransitionMatrix::PropagateBatchPull(const BatchFrontier& in,
   }
 }
 
-void TransitionMatrix::PropagateBatchAdaptive(const BatchFrontier& in,
-                                              BatchFrontier& out,
-                                              ThreadPool* pool) const {
+void TransitionMatrix::PropagateBatchAdaptive(
+    const BatchFrontier& in, BatchFrontier& out, ThreadPool* pool,
+    const std::vector<uint32_t>* pull_rows) const {
   // Same crossover heuristic as PropagateAdaptive, measured on the
   // union support. The verdict may differ from what any single lane
   // would have chosen alone — harmless, because push and pull are
   // bitwise-identical per lane (ascending source-row accumulation both
-  // ways).
-  const uint64_t touched_cut = nonzeros() / 4;
+  // ways). A pull restriction shrinks the pull side of the crossover
+  // proportionally: the gather only sweeps the restricted rows'
+  // transpose entries.
+  const size_t pull_span = pull_rows != nullptr ? pull_rows->size() : rows();
+  uint64_t touched_cut = nonzeros() / 4;
+  if (pull_rows != nullptr && rows() > 0) {
+    touched_cut = std::max<uint64_t>(
+        1, static_cast<uint64_t>(static_cast<double>(touched_cut) *
+                                 static_cast<double>(pull_span) /
+                                 static_cast<double>(rows())));
+  }
   uint64_t touched = 0;
   for (uint32_t row : in.nonzero) {
     touched += row_ptr_[row + 1] - row_ptr_[row];
     if (touched >= touched_cut) break;
   }
   const bool dense = touched >= touched_cut ||
-                     in.nonzero.size() * 4 >= rows();
+                     in.nonzero.size() * 4 >= pull_span;
   if (dense) {
-    PropagateBatchPull(in, out, pool);
+    PropagateBatchPull(in, out, pool, pull_rows);
   } else {
     PropagateBatchPush(in, out);
   }

@@ -136,8 +136,19 @@ class TransitionMatrix {
   // accumulate per output row in ascending source-row order.
   // `out.nonzero` is left sorted and holds exactly the rows with some
   // nonzero lane; `out.lane_mass` flags per-lane survival.
+  //
+  // `pull_rows`, when non-null, restricts the pull (dense) step to that
+  // sorted-ascending row list — the caller guarantees every row whose
+  // gather could be nonzero is in the list (e.g. all rows of the
+  // seeker's reach component: mass seeded there can never leave it, so
+  // skipped rows always gather exactly 0.0 and bit-for-bit equality
+  // with the unrestricted step holds). The push step ignores it (push
+  // only writes rows the frontier's mass actually reaches) and the
+  // density crossover is scaled to the restricted pull cost.
   void PropagateBatchAdaptive(const BatchFrontier& in, BatchFrontier& out,
-                              ThreadPool* pool) const;
+                              ThreadPool* pool,
+                              const std::vector<uint32_t>* pull_rows =
+                                  nullptr) const;
 
   // Normalization denominator D(n) for the row of entity `n` (0 if the
   // neighborhood has no outgoing edge).
@@ -200,7 +211,8 @@ class TransitionMatrix {
   // PropagateBatchAdaptive.
   void PropagateBatchPush(const BatchFrontier& in, BatchFrontier& out) const;
   void PropagateBatchPull(const BatchFrontier& in, BatchFrontier& out,
-                          ThreadPool* pool) const;
+                          ThreadPool* pool,
+                          const std::vector<uint32_t>* pull_rows) const;
 
   StorageSpan<uint64_t> row_ptr_;
   StorageSpan<uint32_t> cols_;

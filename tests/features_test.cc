@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "common/thread_pool.h"
 #include "core/s3_instance.h"
@@ -173,6 +176,57 @@ TEST(ThreadPoolTest, ConcurrentSum) {
   const size_t n = 10000;
   pool.ParallelFor(n, [&](size_t i) { sum += static_cast<int64_t>(i); });
   EXPECT_EQ(sum.load(), static_cast<int64_t>(n * (n - 1) / 2));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(1000,
+                       [&](size_t i) {
+                         if (i == 137) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionDrainsAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  // Every iteration throws: exactly one exception must surface, the
+  // rest are swallowed, and the pool must be reusable afterwards.
+  for (int round = 0; round < 5; ++round) {
+    try {
+      pool.ParallelFor(100, [&](size_t i) {
+        throw std::invalid_argument("iter " + std::to_string(i));
+      });
+      FAIL() << "ParallelFor should have rethrown";
+    } catch (const std::invalid_argument&) {
+    }
+    std::atomic<int> ok{0};
+    pool.ParallelFor(64, [&](size_t) { ok++; });
+    EXPECT_EQ(ok.load(), 64);
+  }
+}
+
+TEST(ThreadPoolTest, HelperLimitCapsConcurrencyButRunsEverything) {
+  ThreadPool pool(7);
+  pool.SetHelperLimit(1);  // caller + at most one helper
+  std::atomic<int> live{0};
+  std::atomic<int> peak{0};
+  std::atomic<int> done{0};
+  pool.ParallelFor(500, [&](size_t) {
+    int now = ++live;
+    int prev = peak.load();
+    while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+    }
+    done++;
+    --live;
+  });
+  EXPECT_EQ(done.load(), 500);
+  EXPECT_LE(peak.load(), 2);
+  // Lifting the limit restores full fan-out on the same pool.
+  pool.SetHelperLimit(SIZE_MAX);
+  done = 0;
+  pool.ParallelFor(500, [&](size_t) { done++; });
+  EXPECT_EQ(done.load(), 500);
 }
 
 }  // namespace
