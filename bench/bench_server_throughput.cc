@@ -23,6 +23,7 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "eval/runtime.h"
+#include "obs/metrics.h"
 #include "eval/service_stats.h"
 #include "server/query_service.h"
 #include "workload/microblog_gen.h"
@@ -220,6 +221,20 @@ int main() {
     json.Add("server_throughput/anytime_eps:" + std::to_string(
                  static_cast<int>(eps * 1000)),
              r.seconds * 1e9 / trace.size(), extra);
+  }
+
+  // Every QueryService above registered into the default registry, so
+  // it now holds the full serving-metric catalog with real samples.
+  // Dump it as Prometheus text: CI diffs the series catalog against
+  // the committed baseline (tools/s3_metrics_diff.py, advisory).
+  const std::string prom = obs::MetricRegistry::Default().RenderPrometheus();
+  if (!prom.empty()) {
+    if (std::FILE* f = std::fopen("BENCH_server_metrics.prom", "w")) {
+      std::fputs(prom.c_str(), f);
+      std::fclose(f);
+      std::printf("\nwrote BENCH_server_metrics.prom (%zu bytes)\n",
+                  prom.size());
+    }
   }
   return 0;
 }

@@ -19,6 +19,8 @@
 #include <optional>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "s3/s3.h"
 
 using namespace s3;
@@ -83,7 +85,10 @@ int main(int argc, char** argv) {
                ":eps <value> sets a certified anytime slack for later "
                "queries (0 = exact)\n"
                ":threads <n> sets intra-query threads (0 = auto; results "
-               "are identical at any count)\n",
+               "are identical at any count)\n"
+               ":trace toggles per-query engine iteration traces\n"
+               ":metrics dumps the session's metric registry "
+               "(Prometheus text)\n",
                inst->UserCount(), inst->docs().DocumentCount(),
                inst->TagCount());
 
@@ -99,6 +104,16 @@ int main(int argc, char** argv) {
 
   // Session-wide per-request options, adjusted with ":eps <value>".
   core::QueryOptions qopts;
+
+  // Session observability: shell queries bypass QueryService, so the
+  // shell observes its own latency series into the default registry;
+  // :metrics dumps the full registry (thread-pool series included).
+  obs::RegisterProcessMetrics();
+  obs::Histogram* h_query = obs::MetricRegistry::Default().GetHistogram(
+      "s3_shell_query_seconds", "End-to-end latency of shell queries");
+  obs::Counter* c_queries = obs::MetricRegistry::Default().GetCounter(
+      "s3_shell_queries_total", "Queries answered by this shell session");
+  uint64_t trace_id = 0;
 
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -122,6 +137,20 @@ int main(int argc, char** argv) {
       std::printf("-- intra-query threads=%u%s\n",
                   searcher->options().threads,
                   n == 0 ? " (auto)" : "");
+      continue;
+    }
+    if (seeker_uri == ":metrics") {
+      const std::string text = obs::MetricRegistry::Default().RenderPrometheus();
+      if (text.empty()) {
+        std::printf("-- observability compiled out (-DS3_OBS=OFF)\n");
+      } else {
+        std::fputs(text.c_str(), stdout);
+      }
+      continue;
+    }
+    if (seeker_uri == ":trace") {
+      qopts.trace = !qopts.trace;
+      std::printf("-- trace %s\n", qopts.trace ? "on" : "off");
       continue;
     }
     if (seeker_uri == ":eps") {
@@ -167,6 +196,19 @@ int main(int argc, char** argv) {
     if (!result.ok()) {
       std::printf("! %s\n", result.status().ToString().c_str());
       continue;
+    }
+    c_queries->Inc();
+    h_query->Observe(st.elapsed_seconds);
+    if (qopts.trace) {
+      obs::QueryTrace trace;
+      trace.id = ++trace_id;
+      trace.label = line;
+      trace.certified_epsilon = st.certified_epsilon;
+      trace.total_seconds = st.elapsed_seconds;
+      trace.spans.push_back(
+          obs::TraceSpan{"search", 0.0, st.elapsed_seconds, 0});
+      trace.iterations = st.iteration_trace;
+      std::fputs(obs::FormatTrace(trace).c_str(), stdout);
     }
     if (result->empty()) std::printf("(no results)\n");
     for (const auto& r : *result) {

@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace s3 {
 
 class ThreadPool {
@@ -26,6 +28,7 @@ class ThreadPool {
     for (unsigned i = 0; i < workers; ++i) {
       threads_.emplace_back([this] { WorkerLoop(); });
     }
+    obs::NotePoolCreated(static_cast<unsigned>(threads_.size()));
   }
 
   ~ThreadPool() {
@@ -36,6 +39,7 @@ class ThreadPool {
     }
     cv_.notify_all();
     for (auto& t : threads_) t.join();
+    obs::NotePoolDestroyed(static_cast<unsigned>(threads_.size()));
   }
 
   ThreadPool(const ThreadPool&) = delete;
@@ -68,6 +72,7 @@ class ThreadPool {
   // normally; which later iterations were skipped is unspecified.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     if (n == 0) return;
+    obs::NotePoolRegion(n);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       task_ = &fn;

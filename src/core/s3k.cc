@@ -80,6 +80,7 @@ BatchSeeker ResolveLane(const QueryRequest& request,
   lane.deadline_seconds = request.options.deadline_seconds > 0.0
                               ? request.options.deadline_seconds
                               : defaults.time_budget_seconds;
+  lane.trace = request.options.trace;
   return lane;
 }
 
@@ -310,6 +311,9 @@ Result<std::vector<BatchQueryResult>> S3kSearcher::SearchBatchWithPlan(
   // the legacy global budget and a per-request deadline are one
   // mechanism; eps == 0 lanes never touch the anytime exit at all.
   std::vector<double> lane_eps(B), lane_deadline(B);
+  // Per-lane iteration tracing (observability only): untraced lanes
+  // skip the record entirely, so the common case allocates nothing.
+  std::vector<uint8_t> lane_trace(B, 0);
   bool any_deadline = false;
   for (size_t s = 0; s < B; ++s) {
     lane_eps[s] = batch[s].epsilon_approx;
@@ -317,6 +321,7 @@ Result<std::vector<BatchQueryResult>> S3kSearcher::SearchBatchWithPlan(
                            ? batch[s].deadline_seconds
                            : options_.time_budget_seconds;
     any_deadline = any_deadline || lane_deadline[s] > 0.0;
+    lane_trace[s] = batch[s].trace ? 1 : 0;
   }
   for (size_t s = 0; s < B; ++s) {
     ks[s] = batch[s].k > 0 ? batch[s].k : options_.k;
@@ -542,7 +547,11 @@ Result<std::vector<BatchQueryResult>> S3kSearcher::SearchBatchWithPlan(
   // per-query SearchWithPlan.
   double d[social::kMaxFrontierLanes];
   std::vector<double> tails(L, 0.0);
+  // Which side of the push/pull crossover this iteration's propagation
+  // ran (observability; false when no propagation happened).
+  bool iter_used_pull = false;
   for (size_t n = 1; n <= options_.max_iterations && live > 0; ++n) {
+    iter_used_pull = false;
     for (size_t s = 0; s < B; ++s) {
       if (!finished[s]) out[s].stats.iterations = n;
     }
@@ -553,7 +562,8 @@ Result<std::vector<BatchQueryResult>> S3kSearcher::SearchBatchWithPlan(
       if (!finished[s] && !exhausted[s]) any_frontier = true;
     }
     if (any_frontier) {
-      matrix.PropagateBatchAdaptive(frontier, next, pool_.get(), pull_rows);
+      matrix.PropagateBatchAdaptive(frontier, next, pool_.get(), pull_rows,
+                                    &iter_used_pull);
       std::swap(frontier, next);
       for (size_t s = 0; s < B; ++s) {
         if (!finished[s] && !exhausted[s] && !frontier.LaneHasMass(s)) {
@@ -733,6 +743,31 @@ Result<std::vector<BatchQueryResult>> S3kSearcher::SearchBatchWithPlan(
       }
       const size_t k_s = ks[s];
       const double threshold = last_threshold[s];
+
+      if (lane_trace[s]) {
+        // Snapshot this iteration's bound-refinement state for the
+        // trace. O(k) reads of already-computed bounds — runs only for
+        // the (sampled) traced lane, and never writes engine state, so
+        // the search itself is untouched.
+        obs::IterationTraceRecord rec;
+        rec.iteration = static_cast<uint32_t>(n);
+        rec.frontier_size = static_cast<uint32_t>(frontier.nonzero.size());
+        rec.alive_candidates = static_cast<uint32_t>(order.size());
+        const size_t tk = std::min(k_s, order.size());
+        double min_lower = 0.0;
+        if (tk > 0) {
+          min_lower = std::numeric_limits<double>::infinity();
+          for (size_t i = 0; i < tk; ++i) {
+            min_lower = std::min(min_lower, engine.lower(order[i], s));
+          }
+        }
+        rec.kth_lower = min_lower;
+        rec.remaining_upper = std::max(
+            threshold, order.size() > tk ? engine.upper(order[tk], s) : 0.0);
+        rec.used_pull = iter_used_pull;
+        rec.fanout = use_fanout;
+        out[s].stats.iteration_trace.push_back(rec);
+      }
 
       if (order.size() >= k_s || exhausted[s] ||
           threshold <= options_.epsilon) {

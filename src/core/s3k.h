@@ -22,6 +22,7 @@
 #include "core/connections.h"
 #include "core/s3_instance.h"
 #include "core/score.h"
+#include "obs/trace.h"
 #include "social/transition_matrix.h"
 
 namespace s3::core {
@@ -67,6 +68,11 @@ struct QueryOptions {
   // modes, matching the legacy anytime-budget behavior.
   double deadline_seconds = 0.0;
   QueryMode mode = QueryMode::kExact;
+  // Record the engine's per-iteration bound-refinement story into
+  // SearchStats::iteration_trace (observability only — never affects
+  // the result). Off by default; the serving layer sets it for
+  // sampled queries, so untraced queries pay nothing.
+  bool trace = false;
 
   // InvalidArgument on non-finite / negative epsilon or deadline, or
   // epsilon_approx > 0 outside kAnytime.
@@ -215,6 +221,12 @@ struct SearchStats {
   // All candidate documents of passing components (the candidate
   // universe used by the Fig. 8 quality metrics).
   std::vector<doc::NodeId> candidate_nodes;
+  // Per-iteration bound-refinement records, filled only when the
+  // request asked for tracing (QueryOptions::trace / BatchSeeker::
+  // trace); empty — and unallocated — otherwise. Like
+  // used_component_fanout this is scheduling/progress observability,
+  // not part of the bit-for-bit result contract.
+  std::vector<obs::IterationTraceRecord> iteration_trace;
 };
 
 // One member of a multi-seeker batch. `k == 0` means "use the
@@ -229,6 +241,9 @@ struct BatchSeeker {
   size_t k = 0;
   double epsilon_approx = 0.0;
   double deadline_seconds = 0.0;
+  // Fill this lane's SearchStats::iteration_trace (observability only;
+  // see QueryOptions::trace).
+  bool trace = false;
 };
 
 // The effective per-lane parameters of `request` against the serving

@@ -1,0 +1,80 @@
+// Minimal single-threaded HTTP exporter for `GET /metrics`: one
+// background thread, one connection at a time, Prometheus text
+// exposition from a MetricRegistry. Deliberately tiny — it exists so
+// an operator (or a scraper) can read the registry without linking a
+// web stack; it is NOT a general HTTP server and is off by default
+// everywhere (nothing starts one unless explicitly asked).
+//
+// Under -DS3_OBS=OFF, Start() reports FailedPrecondition and the rest
+// are no-ops.
+#ifndef S3_OBS_METRICS_HTTP_H_
+#define S3_OBS_METRICS_HTTP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+#ifndef S3_OBS_DISABLED
+#include <atomic>
+#include <thread>
+#endif
+
+namespace s3::obs {
+
+struct MetricsHttpOptions {
+  // Loopback by default: this is an operator port, not a public one.
+  std::string bind_address = "127.0.0.1";
+  // 0 asks the kernel for an ephemeral port; read it back via port().
+  uint16_t port = 0;
+};
+
+#ifndef S3_OBS_DISABLED
+
+class MetricsHttpServer {
+ public:
+  // Serves `registry` (nullptr → MetricRegistry::Default()).
+  explicit MetricsHttpServer(MetricRegistry* registry = nullptr);
+  ~MetricsHttpServer();
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  // Binds, listens, and starts the accept thread. Returns
+  // UnavailableError if the socket can't be bound (sandboxes without
+  // network namespaces) — callers degrade gracefully.
+  Status Start(const MetricsHttpOptions& options = {});
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint16_t port() const { return port_; }
+
+ private:
+  void Serve();
+
+  MetricRegistry* registry_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+#else  // S3_OBS_DISABLED
+
+class MetricsHttpServer {
+ public:
+  explicit MetricsHttpServer(MetricRegistry* = nullptr) {}
+  Status Start(const MetricsHttpOptions& = {}) {
+    return Status::FailedPrecondition(
+        "metrics HTTP exporter compiled out (S3_OBS=OFF)");
+  }
+  void Stop() {}
+  bool running() const { return false; }
+  uint16_t port() const { return 0; }
+};
+
+#endif  // S3_OBS_DISABLED
+
+}  // namespace s3::obs
+
+#endif  // S3_OBS_METRICS_HTTP_H_

@@ -29,7 +29,8 @@ QueryService::QueryService(std::shared_ptr<const core::S3Instance> snapshot,
                            QueryServiceOptions options)
     : snapshot_(std::move(snapshot)),
       options_(options),
-      queue_(options.queue_capacity) {
+      queue_(options.queue_capacity),
+      tracer_(options.trace) {
   if (options_.workers < 1) options_.workers = 1;
   intra_budget_ = options_.intra_thread_budget;
   if (intra_budget_ == 0) {  // auto
@@ -40,10 +41,132 @@ QueryService::QueryService(std::shared_ptr<const core::S3Instance> snapshot,
     cache_ = std::make_unique<ProximityCache>(
         options_.cache_shards, options_.cache_capacity_per_shard);
   }
+  // Value-initialized (zeroed) per-worker busy-time slots; the metric
+  // callbacks read them, so allocate before RegisterMetrics().
+  worker_busy_seconds_ =
+      std::make_unique<std::atomic<double>[]>(options_.workers);
+  RegisterMetrics();
   workers_.reserve(options_.workers);
   for (unsigned i = 0; i < options_.workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+}
+
+void QueryService::RegisterMetrics() {
+  obs::MetricRegistry* reg = options_.registry != nullptr
+                                 ? options_.registry
+                                 : &obs::MetricRegistry::Default();
+  obs::RegisterProcessMetrics(reg);
+  callbacks_.Attach(reg);
+  const obs::Labels svc{{"service", options_.obs_label}};
+  h_queue_wait_ = reg->GetHistogram(
+      "s3_query_queue_seconds", "Admission-to-dequeue wait per query.", svc);
+  h_exec_ = reg->GetHistogram(
+      "s3_query_exec_seconds",
+      "Dequeue-to-completion execution time per query.", svc);
+  h_total_ = reg->GetHistogram(
+      "s3_query_total_seconds", "Admission-to-completion latency per query.",
+      svc);
+  h_batch_width_ = reg->GetHistogram(
+      "s3_query_batch_width",
+      "Queries answered per executed search pass (1 = unbatched).", svc,
+      obs::BucketSpec::SmallCounts());
+
+  // Counter/gauge views over the service's own atomics — the atomics
+  // stay the single source of truth (QueryServiceStats reads the same
+  // memory), the registry only renders them.
+  auto view = [&](const char* name, const char* help,
+                  const std::atomic<uint64_t>& src) {
+    callbacks_.Add(name, help, obs::MetricKind::kCounter, svc, [&src] {
+      return static_cast<double>(src.load(std::memory_order_relaxed));
+    });
+  };
+  view("s3_queries_submitted_total", "Queries admitted into the queue.",
+       submitted_);
+  view("s3_queries_rejected_total",
+       "Queue-full Unavailable refusals (load shed).", rejected_);
+  view("s3_queries_completed_total", "Queries answered with a result.",
+       completed_);
+  view("s3_queries_failed_total", "Queries answered with an error status.",
+       failed_);
+  view("s3_batched_queries_total",
+       "Queries answered inside a width >= 2 batch.", batched_queries_);
+  view("s3_batches_executed_total", "Width >= 2 batch passes executed.",
+       batches_executed_);
+  view("s3_anytime_queries_total", "Completed kAnytime-mode queries.",
+       anytime_queries_);
+  view("s3_deadline_exceeded_total",
+       "Completed queries whose search deadline expired.",
+       deadline_exceeded_);
+  for (size_t b = 0; b < eval::ServiceCounters::kEpsBuckets; ++b) {
+    obs::Labels labels = svc;
+    labels.emplace_back("bucket", eval::CertifiedEpsilonBucketLabel(b));
+    callbacks_.Add("s3_query_certified_eps_total",
+                   "Achieved certified-epsilon histogram over completed "
+                   "queries (exact answers land in the leftmost bucket).",
+                   obs::MetricKind::kCounter, std::move(labels),
+                   [this, b] {
+                     return static_cast<double>(
+                         eps_hist_[b].load(std::memory_order_relaxed));
+                   });
+  }
+  callbacks_.Add("s3_query_queue_depth",
+                 "Admitted tasks waiting for a worker.",
+                 obs::MetricKind::kGauge, svc, [this] {
+                   return static_cast<double>(queue_.size());
+                 });
+  callbacks_.Add("s3_query_busy_workers",
+                 "Workers currently executing a query.",
+                 obs::MetricKind::kGauge, svc, [this] {
+                   return static_cast<double>(
+                       busy_workers_.load(std::memory_order_relaxed));
+                 });
+  for (unsigned i = 0; i < options_.workers; ++i) {
+    obs::Labels labels = svc;
+    labels.emplace_back("worker", std::to_string(i));
+    callbacks_.Add("s3_worker_busy_seconds_total",
+                   "Cumulative seconds this worker spent executing queries.",
+                   obs::MetricKind::kCounter, std::move(labels), [this, i] {
+                     return worker_busy_seconds_[i].load(
+                         std::memory_order_relaxed);
+                   });
+  }
+  if (cache_ != nullptr) {
+    auto cache_view = [&](const char* name, const char* help,
+                          obs::MetricKind kind,
+                          uint64_t ProximityCacheStats::*field) {
+      callbacks_.Add(name, help, kind, svc, [this, field] {
+        return static_cast<double>(cache_->Stats().*field);
+      });
+    };
+    cache_view("s3_plan_cache_hits_total",
+               "Plans served from the proximity cache.",
+               obs::MetricKind::kCounter, &ProximityCacheStats::hits);
+    cache_view("s3_plan_cache_misses_total",
+               "Plan lookups that missed (plan built).",
+               obs::MetricKind::kCounter, &ProximityCacheStats::misses);
+    cache_view("s3_plan_cache_insertions_total",
+               "Plans inserted into the cache.", obs::MetricKind::kCounter,
+               &ProximityCacheStats::insertions);
+    cache_view("s3_plan_cache_evictions_total",
+               "Plans evicted by LRU capacity pressure.",
+               obs::MetricKind::kCounter, &ProximityCacheStats::evictions);
+    cache_view("s3_plan_cache_purged_total",
+               "Stale-generation plans purged after snapshot swaps.",
+               obs::MetricKind::kCounter, &ProximityCacheStats::purged);
+    callbacks_.Add("s3_plan_cache_entries", "Plans currently cached.",
+                   obs::MetricKind::kGauge, svc, [this] {
+                     return static_cast<double>(cache_->Stats().entries);
+                   });
+  }
+  callbacks_.Add("s3_traces_sampled_total",
+                 "Queries selected for detailed tracing.",
+                 obs::MetricKind::kCounter, svc,
+                 [this] { return static_cast<double>(tracer_.sampled_total()); });
+  callbacks_.Add("s3_slow_queries_total",
+                 "Completions at or above the slow-query threshold.",
+                 obs::MetricKind::kCounter, svc,
+                 [this] { return static_cast<double>(tracer_.slow_total()); });
 }
 
 QueryService::~QueryService() { Shutdown(); }
@@ -204,7 +327,7 @@ Result<std::shared_ptr<const core::CandidatePlan>> QueryService::ResolvePlan(
   return plan;
 }
 
-void QueryService::WorkerLoop() {
+void QueryService::WorkerLoop(unsigned worker_index) {
   // The pooled searcher: one per worker, reused for every query the
   // worker answers (scratch state persists across queries) and rebuilt
   // only when a SwapSnapshot publishes a new generation. The worker's
@@ -226,12 +349,29 @@ void QueryService::WorkerLoop() {
         busy_workers_.fetch_add(1, std::memory_order_relaxed) + 1;
     struct BusyGuard {
       std::atomic<unsigned>& counter;
-      ~BusyGuard() { counter.fetch_sub(1, std::memory_order_relaxed); }
-    } busy_guard{busy_workers_};
+      std::atomic<double>& busy_seconds;
+      WallTimer timer;  // started at dequeue
+      ~BusyGuard() {
+        // Per-worker utilization accounting covers every exit path
+        // (error continues included), like the busy count itself.
+        busy_seconds.fetch_add(timer.ElapsedSeconds(),
+                               std::memory_order_relaxed);
+        counter.fetch_sub(1, std::memory_order_relaxed);
+      }
+    } busy_guard{busy_workers_, worker_busy_seconds_[worker_index]};
 
     Task& task = *popped;
     QueryResponse response;
     response.queue_seconds = task.timer.ElapsedSeconds();
+    h_queue_wait_->Observe(response.queue_seconds);
+    // Trace sampling is decided before the query runs: a sampled query
+    // carries the engine-side trace flag (per-iteration records) and
+    // gets a QueryTrace built at completion; a sampled-out query pays
+    // one relaxed fetch_add here and allocates nothing. The flag never
+    // affects the result (engine tracing is read-only).
+    const uint64_t query_id = trace_ids_.fetch_add(1, std::memory_order_relaxed);
+    const bool sampled = tracer_.ShouldSample();
+    if (sampled) task.query.options.trace = true;
 
     // Bind one snapshot for the whole query: snapshot, plan and
     // searcher all come from this generation, even if a swap lands
@@ -252,7 +392,7 @@ void QueryService::WorkerLoop() {
     auto plan = ResolvePlan(*bound, task.query, searcher->intra_pool(),
                             &response.cache_hit);
     if (!plan.ok()) {
-      failed_.fetch_add(1, std::memory_order_relaxed);
+      failed_.fetch_add(1, std::memory_order_release);
       task.promise.set_value(plan.status());
       continue;
     }
@@ -290,7 +430,7 @@ void QueryService::WorkerLoop() {
       auto result = searcher->SearchWithPlan(task.query, **plan,
                                              &response.stats);
       if (!result.ok()) {
-        failed_.fetch_add(1, std::memory_order_relaxed);
+        failed_.fetch_add(1, std::memory_order_release);
         task.promise.set_value(result.status());
         continue;
       }
@@ -300,7 +440,15 @@ void QueryService::WorkerLoop() {
       RecordOutcome(task.query, response.stats);
       response.total_seconds = task.timer.ElapsedSeconds();
       latency_.Add(response.total_seconds);
-      completed_.fetch_add(1, std::memory_order_relaxed);
+      h_exec_->Observe(response.total_seconds - response.queue_seconds);
+      h_total_->Observe(response.total_seconds);
+      h_batch_width_->Observe(1.0);
+      FinishQueryObs(query_id, sampled, task.query, response,
+                     /*batch_width=*/1);
+      // Release-ordered so a Stats() snapshot that sees this
+      // completion also sees the RecordOutcome increments and the
+      // admission that preceded it (see Stats()).
+      completed_.fetch_add(1, std::memory_order_release);
       task.promise.set_value(std::move(response));
       continue;
     }
@@ -322,12 +470,17 @@ void QueryService::WorkerLoop() {
     }
     auto batched = searcher->SearchBatchWithPlan(batch, **plan);
     if (!batched.ok()) {
-      failed_.fetch_add(tasks.size(), std::memory_order_relaxed);
+      failed_.fetch_add(tasks.size(), std::memory_order_release);
       for (Task& t : tasks) t.promise.set_value(batched.status());
       continue;
     }
-    batches_executed_.fetch_add(1, std::memory_order_relaxed);
+    // Queries-then-passes, with the pass release-ordered: a Stats()
+    // snapshot that sees a batch pass also sees all its member-query
+    // increments (batched_queries >= 2 * batches_executed holds for
+    // every snapshot).
     batched_queries_.fetch_add(tasks.size(), std::memory_order_relaxed);
+    batches_executed_.fetch_add(1, std::memory_order_release);
+    h_batch_width_->Observe(static_cast<double>(tasks.size()));
     for (size_t i = 0; i < tasks.size(); ++i) {
       QueryResponse r;
       r.generation = response.generation;
@@ -345,10 +498,72 @@ void QueryService::WorkerLoop() {
       RecordOutcome(tasks[i].query, r.stats);
       r.total_seconds = tasks[i].timer.ElapsedSeconds();
       latency_.Add(r.total_seconds);
-      completed_.fetch_add(1, std::memory_order_relaxed);
+      h_exec_->Observe(r.total_seconds - r.queue_seconds);
+      h_total_->Observe(r.total_seconds);
+      // Only the batch head can be the sampled query (the decision was
+      // taken at its dequeue); followers still feed the slow log under
+      // their own ids.
+      FinishQueryObs(
+          i == 0 ? query_id : trace_ids_.fetch_add(1, std::memory_order_relaxed),
+          i == 0 && sampled, tasks[i].query, r, tasks.size());
+      completed_.fetch_add(1, std::memory_order_release);
       tasks[i].promise.set_value(std::move(r));
     }
   }
+}
+
+void QueryService::FinishQueryObs(uint64_t query_id, bool sampled,
+                                  const core::QueryRequest& query,
+                                  const QueryResponse& response,
+                                  size_t batch_width) {
+  if constexpr (!obs::kEnabled) return;
+  const auto label = [&] {
+    return "seeker=" + std::to_string(query.seeker) + " kw=" +
+           std::to_string(query.keywords.size()) +
+           (query.options.mode == core::QueryMode::kAnytime ? " anytime"
+                                                            : "");
+  };
+  // Always-on slow-log check: the entry is materialized only past the
+  // threshold, so the fast path pays one comparison.
+  tracer_.NoteCompletion(response.total_seconds, [&] {
+    obs::SlowQueryEntry entry;
+    entry.id = query_id;
+    entry.label = label();
+    entry.generation = response.generation;
+    entry.cache_hit = response.cache_hit;
+    entry.batched = batch_width > 1;
+    entry.deadline_exceeded = response.deadline_exceeded;
+    entry.certified_epsilon = response.certified_epsilon;
+    entry.queue_seconds = response.queue_seconds;
+    entry.exec_seconds = response.total_seconds - response.queue_seconds;
+    entry.total_seconds = response.total_seconds;
+    return entry;
+  });
+  if (!sampled) return;
+  obs::QueryTrace trace;
+  trace.id = query_id;
+  trace.label = label();
+  trace.generation = response.generation;
+  trace.cache_hit = response.cache_hit;
+  trace.batched = batch_width > 1;
+  trace.batch_width = static_cast<uint32_t>(batch_width);
+  trace.deadline_exceeded = response.deadline_exceeded;
+  trace.certified_epsilon = response.certified_epsilon;
+  trace.total_seconds = response.total_seconds;
+  // Span tree from the response's phase scalars. Plan resolution and
+  // search are not separately clocked on the serving path (that would
+  // cost a timer read per query); the search span carries the engine's
+  // per-iteration records, which is where the time goes.
+  obs::TraceSpan queue_span{"queue-wait", 0.0, response.queue_seconds, 0};
+  const double exec = response.total_seconds - response.queue_seconds;
+  obs::TraceSpan exec_span{"execute", response.queue_seconds, exec, 0};
+  obs::TraceSpan plan_span{response.cache_hit ? "plan-cache-hit"
+                                              : "plan-build",
+                           response.queue_seconds, 0.0, 1};
+  obs::TraceSpan search_span{"search", response.queue_seconds, exec, 1};
+  trace.spans = {queue_span, exec_span, plan_span, search_span};
+  trace.iterations = response.stats.iteration_trace;
+  tracer_.Record(std::move(trace));
 }
 
 void QueryService::Shutdown() {
@@ -366,18 +581,30 @@ void QueryService::Shutdown() {
 }
 
 QueryServiceStats QueryService::Stats() const {
+  // Dependency-ordered snapshot. Workers increment with release at
+  // the consistency boundaries (completed_/failed_ after RecordOutcome
+  // and after the queue pop; batches_executed_ after its member
+  // count), and admission increments submitted_ before the queue push.
+  // Reading the *later* event of each pair with acquire, then its
+  // prerequisites, makes every returned snapshot obey:
+  //   completed + failed <= submitted      (admission precedes work)
+  //   batched_queries >= 2 * batches_executed
+  //   sum(certified_eps_hist) >= completed  (outcome precedes count)
+  // A relaxed field-by-field read — the previous implementation —
+  // could see a completion without its admission and report
+  // completed > submitted mid-load.
   QueryServiceStats out;
-  out.submitted = submitted_.load(std::memory_order_relaxed);
-  out.rejected = rejected_.load(std::memory_order_relaxed);
-  out.completed = completed_.load(std::memory_order_relaxed);
-  out.failed = failed_.load(std::memory_order_relaxed);
+  out.batches_executed = batches_executed_.load(std::memory_order_acquire);
   out.batched_queries = batched_queries_.load(std::memory_order_relaxed);
-  out.batches_executed = batches_executed_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_acquire);
+  out.failed = failed_.load(std::memory_order_acquire);
   out.anytime_queries = anytime_queries_.load(std::memory_order_relaxed);
   out.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   for (size_t b = 0; b < eval::ServiceCounters::kEpsBuckets; ++b) {
     out.certified_eps_hist[b] = eps_hist_[b].load(std::memory_order_relaxed);
   }
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.submitted = submitted_.load(std::memory_order_relaxed);
   if (cache_ != nullptr) {
     const ProximityCacheStats cache = cache_->Stats();
     out.cache_hits = cache.hits;

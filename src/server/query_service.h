@@ -55,6 +55,8 @@
 #include "common/timer.h"
 #include "core/s3k.h"
 #include "eval/service_stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/proximity_cache.h"
 
 namespace s3::server {
@@ -96,6 +98,19 @@ struct QueryServiceOptions {
   // when the queue actually backs up with same-plan queries
   // (throughput mode); an idle service answers singles either way.
   size_t batch_window = 0;
+  // ---- observability (src/obs) ----
+  // Registry this service publishes its metric series into; nullptr
+  // means the process-wide obs::MetricRegistry::Default(). Tests pass
+  // a private registry to isolate their series.
+  obs::MetricRegistry* registry = nullptr;
+  // Value of the {service="..."} label on every series this service
+  // owns. Two live services sharing a registry must use distinct
+  // labels (the shard router labels its per-shard services
+  // "shard<i>"); series survive service restarts under the same label
+  // and keep accumulating.
+  std::string obs_label = "primary";
+  // Query-trace sampling / slow-log policy (obs/trace.h).
+  obs::TraceOptions trace;
 };
 
 // What the future resolves to on success.
@@ -200,7 +215,21 @@ class QueryService {
   // Idempotent; also run by the destructor.
   void Shutdown();
 
+  // Consistent snapshot of the service counters: the fields are read
+  // in dependency order against the workers' release-ordered
+  // completion increments, so for any returned snapshot
+  // `completed + failed <= submitted`,
+  // `batched_queries >= 2 * batches_executed`, and the
+  // certified-epsilon histogram covers at least every completed query
+  // — even while workers are mid-flight.
   QueryServiceStats Stats() const;
+
+  // Instantaneous admission-queue depth (tasks admitted, not yet
+  // dequeued): the load signal the shard router exports per shard.
+  size_t queue_depth() const { return queue_.size(); }
+
+  // Recent sampled traces and the slow-query log (obs/trace.h).
+  const obs::TraceCollector& traces() const { return tracer_; }
 
   // Null when the cache is disabled.
   const ProximityCache* cache() const { return cache_.get(); }
@@ -229,12 +258,23 @@ class QueryService {
   Status ValidateQuery(const core::S3Instance& snapshot,
                        const core::QueryRequest& query) const;
   Result<QueryFuture> Admit(core::QueryRequest query, bool blocking);
-  void WorkerLoop();
+  void WorkerLoop(unsigned worker_index);
+
+  // Registers this service's metric series (histogram handles +
+  // callback views over the counters below) with options_.registry.
+  void RegisterMetrics();
 
   // Counter bookkeeping for one completed response: anytime/deadline
   // counters plus the certified-epsilon histogram bucket.
   void RecordOutcome(const core::QueryRequest& query,
                      const core::SearchStats& stats);
+
+  // Per-completion observability: the always-on slow-query check, and
+  // — for the sampled batch head — the QueryTrace record. No-op with
+  // obs compiled out.
+  void FinishQueryObs(uint64_t query_id, bool sampled,
+                      const core::QueryRequest& query,
+                      const QueryResponse& response, size_t batch_width);
 
   // Resolves the candidate plan for a query against `snapshot` through
   // the cache (or builds it uncached); the cache key carries the
@@ -270,6 +310,24 @@ class QueryService {
   std::atomic<uint64_t> anytime_queries_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> eps_hist_[eval::ServiceCounters::kEpsBuckets] = {};
+
+  // ---- observability. The atomics above stay the single source of
+  // truth: the registry exposes them through callback metrics (no
+  // double counting, nothing new on the hot path); only the latency/
+  // width histograms below are written per query. All of it compiles
+  // to no-ops under -DS3_OBS=OFF.
+  obs::TraceCollector tracer_;
+  std::atomic<uint64_t> trace_ids_{0};
+  // Per-worker cumulative busy time (seconds executing queries), for
+  // the per-worker utilization series.
+  std::unique_ptr<std::atomic<double>[]> worker_busy_seconds_;
+  obs::Histogram* h_queue_wait_ = nullptr;
+  obs::Histogram* h_exec_ = nullptr;
+  obs::Histogram* h_total_ = nullptr;
+  obs::Histogram* h_batch_width_ = nullptr;
+  // Must be declared after every member its callbacks read (destroyed
+  // first: callbacks are unregistered before the state dies).
+  obs::CallbackSet callbacks_;
 };
 
 }  // namespace s3::server

@@ -3,12 +3,14 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <utility>
 #include <vector>
 
 #include "common/file_io.h"
 #include "common/str_util.h"
+#include "common/timer.h"
 #include "core/snapshot_binary.h"
 
 namespace s3::server {
@@ -58,10 +60,63 @@ std::pair<std::string, uint64_t> FilterWal(std::string_view wal,
   return {std::move(kept), kept_records};
 }
 
+// steady_clock nanos for the freshness-lag stamp (monotonic, so the
+// gauge can never go negative across wall-clock adjustments).
+int64_t NowSteadyNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 SnapshotManager::SnapshotManager(SnapshotManagerOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  RegisterMetrics();
+}
+
+void SnapshotManager::RegisterMetrics() {
+  obs::MetricRegistry* reg = options_.registry != nullptr
+                                 ? options_.registry
+                                 : &obs::MetricRegistry::Default();
+  callbacks_.Attach(reg);
+  const obs::Labels svc{{"service", options_.obs_label}};
+  c_wal_appends_ = reg->GetCounter("s3_wal_appends_total",
+                                   "Delta records appended to the WAL.", svc);
+  c_wal_append_bytes_ = reg->GetCounter(
+      "s3_wal_append_bytes_total", "Bytes appended to the WAL.", svc);
+  c_checkpoints_ = reg->GetCounter("s3_checkpoints_total",
+                                   "Checkpoints completed.", svc);
+  h_wal_append_ = reg->GetHistogram(
+      "s3_wal_append_seconds",
+      "WAL append latency per delta (write + flush, + fsync if enabled).",
+      svc);
+  h_apply_ = reg->GetHistogram(
+      "s3_apply_latency_seconds",
+      "Delta arrival (LogAndApply entry) to successor-generation publish.",
+      svc);
+  h_checkpoint_ = reg->GetHistogram(
+      "s3_checkpoint_seconds",
+      "Checkpoint duration (serialize + snapshot write + WAL truncate).",
+      svc);
+  g_recovery_seconds_ = reg->GetGauge(
+      "s3_recovery_seconds",
+      "Duration of the last directory recovery (snapshot load + WAL "
+      "replay); 0 for a fresh directory.",
+      svc);
+  callbacks_.Add(
+      "s3_freshness_lag_seconds",
+      "Age of the newest published generation: seconds since "
+      "LogAndApply/Initialize last published (0 = nothing published).",
+      obs::MetricKind::kGauge, svc,
+      [this] { return FreshnessLagSeconds(); });
+}
+
+double SnapshotManager::FreshnessLagSeconds() const {
+  const int64_t stamp = last_publish_ns_.load(std::memory_order_relaxed);
+  if (stamp == 0) return 0.0;
+  return static_cast<double>(NowSteadyNanos() - stamp) * 1e-9;
+}
 
 std::string SnapshotManager::WalPath() const {
   return options_.dir + "/" + kWalFileName;
@@ -89,8 +144,10 @@ Result<std::unique_ptr<SnapshotManager>> SnapshotManager::Open(
 
   std::unique_ptr<SnapshotManager> mgr(
       new SnapshotManager(std::move(options)));
+  WallTimer recovery_timer;
   Result<RecoveredState> recovered = Recover(mgr->options_.dir);
   if (recovered.ok()) {
+    mgr->g_recovery_seconds_->Set(recovery_timer.ElapsedSeconds());
     mgr->recovered_ = *recovered;
     mgr->current_ = std::move(recovered->instance);
     // recovered_ keeps only the counters: holding the boot-time
@@ -322,11 +379,16 @@ Status SnapshotManager::Initialize(
   S3_RETURN_IF_ERROR(CheckpointSnapshot(snapshot));
   std::lock_guard<std::mutex> lock(mu_);
   current_ = std::move(snapshot);
+  last_publish_ns_.store(NowSteadyNanos(), std::memory_order_relaxed);
   return Status::OK();
 }
 
 Result<std::shared_ptr<const core::S3Instance>> SnapshotManager::LogAndApply(
     const core::InstanceDelta& delta) {
+  // Delta arrival stamp: s3_apply_latency_seconds measures from here
+  // to the successor publish, the per-delta half of the freshness-lag
+  // story (the gauge covers inter-delta gaps).
+  WallTimer arrival_timer;
   std::string record;
   delta.EncodeWalRecord(&record);
 
@@ -354,6 +416,7 @@ Result<std::shared_ptr<const core::S3Instance>> SnapshotManager::LogAndApply(
           " is poisoned after a failed append repair; run Checkpoint()");
     }
     if (wal_ == nullptr) S3_RETURN_IF_ERROR(OpenWalLocked());
+    WallTimer append_timer;
     const bool appended =
         std::fwrite(record.data(), 1, record.size(), wal_) ==
             record.size() &&
@@ -363,10 +426,15 @@ Result<std::shared_ptr<const core::S3Instance>> SnapshotManager::LogAndApply(
       RepairWalLocked();
       return Status::Internal("WAL append failed at " + WalPath());
     }
+    h_wal_append_->Observe(append_timer.ElapsedSeconds());
+    c_wal_appends_->Inc();
+    c_wal_append_bytes_->Inc(record.size());
     wal_good_bytes_ += record.size();
 
     current_ = std::move(*next);
     published = current_;
+    last_publish_ns_.store(NowSteadyNanos(), std::memory_order_relaxed);
+    h_apply_->Observe(arrival_timer.ElapsedSeconds());
     ++deltas_since_checkpoint_;
     trigger_checkpoint = options_.checkpoint_every > 0 &&
                          deltas_since_checkpoint_ >=
@@ -399,6 +467,7 @@ Status SnapshotManager::Checkpoint() {
 Status SnapshotManager::CheckpointSnapshot(
     const std::shared_ptr<const core::S3Instance>& snapshot) {
   std::lock_guard<std::mutex> cp_lock(checkpoint_mu_);
+  WallTimer checkpoint_timer;
   const uint64_t generation = snapshot->generation();
 
   // Serialization and the snapshot-file write run without mu_: appends
@@ -446,6 +515,8 @@ Status SnapshotManager::CheckpointSnapshot(
     }
     it.increment(ec);
   }
+  c_checkpoints_->Inc();
+  h_checkpoint_->Observe(checkpoint_timer.ElapsedSeconds());
   return Status::OK();
 }
 

@@ -34,6 +34,7 @@
 #ifndef S3_SERVER_SNAPSHOT_MANAGER_H_
 #define S3_SERVER_SNAPSHOT_MANAGER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
@@ -45,6 +46,7 @@
 #include "common/status.h"
 #include "core/instance_delta.h"
 #include "core/s3_instance.h"
+#include "obs/metrics.h"
 #include "server/query_service.h"
 
 namespace s3::server {
@@ -63,6 +65,13 @@ struct SnapshotManagerOptions {
   // is always flushed to the OS per append (process-crash durable);
   // fsync extends that to power loss at a large per-delta cost.
   bool fsync_appends = false;
+  // ---- observability (src/obs) ----
+  // Registry for this manager's metric series (nullptr = process
+  // default) and the {service="..."} label on them — match the
+  // QueryService serving this directory so the write and read paths of
+  // one deployment line up in dumps.
+  obs::MetricRegistry* registry = nullptr;
+  std::string obs_label = "primary";
 };
 
 // What Recover found in a directory.
@@ -137,6 +146,13 @@ class SnapshotManager {
   // (background or inline) that completed.
   Status WaitForCheckpoints();
 
+  // Generation-freshness lag: seconds since the newest generation was
+  // published by LogAndApply/Initialize (the age of the servable
+  // state). 0 before anything was published. Also exported as the
+  // s3_freshness_lag_seconds gauge — this is the streaming-feed
+  // workload's staleness signal (ROADMAP item 5).
+  double FreshnessLagSeconds() const;
+
  private:
   explicit SnapshotManager(SnapshotManagerOptions options);
 
@@ -189,6 +205,22 @@ class SnapshotManager {
   bool bg_pending_ = false;
   bool bg_running_ = false;
   Status bg_last_status_;
+
+  // ---- observability (no-ops under -DS3_OBS=OFF). Counters and
+  // histograms are registry-owned handles written on the durable
+  // paths; the freshness-lag gauge is a callback over
+  // last_publish_ns_.
+  void RegisterMetrics();
+  // steady_clock nanos of the newest published generation (0 = none).
+  std::atomic<int64_t> last_publish_ns_{0};
+  obs::Counter* c_wal_appends_ = nullptr;
+  obs::Counter* c_wal_append_bytes_ = nullptr;
+  obs::Counter* c_checkpoints_ = nullptr;
+  obs::Histogram* h_wal_append_ = nullptr;
+  obs::Histogram* h_apply_ = nullptr;
+  obs::Histogram* h_checkpoint_ = nullptr;
+  obs::Gauge* g_recovery_seconds_ = nullptr;
+  obs::CallbackSet callbacks_;
 };
 
 // Cold-start wiring: recover `storage.dir` and serve it. Fails with

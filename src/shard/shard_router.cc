@@ -185,9 +185,12 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Serve(
     shard.map = std::move(part.map);
     shard.boundary_social_edges = part.boundary_social_edges;
     shard.owned_users = part.owned_users;
+    server::QueryServiceOptions svc = options.service;
+    svc.obs_label = "shard" + std::to_string(s);
     shard.service = std::make_unique<server::QueryService>(
-        std::move(part.instance), options.service);
+        std::move(part.instance), svc);
   }
+  router->RegisterMetrics();
   return router;
 }
 
@@ -222,7 +225,10 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Open(
         storage.dir = ShardDirName(root, s);
         storage.checkpoint_every = options.checkpoint_every;
         storage.background_checkpoints = options.background_checkpoints;
-        auto boot = server::RecoverAndServe(storage, options.service);
+        storage.obs_label = "shard" + std::to_string(s);
+        server::QueryServiceOptions svc = options.service;
+        svc.obs_label = "shard" + std::to_string(s);
+        auto boot = server::RecoverAndServe(storage, svc);
         if (!boot.ok()) {
           out.status = boot.status();
           return;
@@ -365,7 +371,34 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Open(
           "directories)");
     }
   }
+  router->RegisterMetrics();
   return router;
+}
+
+void ShardRouter::RegisterMetrics() {
+  if constexpr (!obs::kEnabled) return;
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  h_scatter_.resize(shards_.size(), nullptr);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    h_scatter_[s] = reg.GetHistogram(
+        "s3_scatter_shard_seconds",
+        "Per-shard sub-query latency as seen by the router "
+        "(admission to completion inside the shard's QueryService)",
+        {{"shard", std::to_string(s)}});
+  }
+  c_pruned_unreachable_ = reg.GetCounter(
+      "s3_shards_pruned_total",
+      "Shards skipped during scatter, by prune reason",
+      {{"reason", "unreachable"}});
+  c_pruned_bound_ = reg.GetCounter(
+      "s3_shards_pruned_total",
+      "Shards skipped during scatter, by prune reason",
+      {{"reason", "bound"}});
+  c_merge_dedup_ = reg.GetCounter(
+      "s3_merge_dedup_total",
+      "Result entries dropped by the scatter merge as duplicates of an "
+      "already-merged global node (replicated groups answer identically)",
+      {});
 }
 
 ShardRouter::~ShardRouter() = default;
@@ -438,9 +471,13 @@ Result<ShardedResponse> ShardRouter::QueryShards(
       if (scatter) {
         resp.shards[s].pruned_unreachable = true;
         ++resp.shards_pruned;
+        if (c_pruned_unreachable_ != nullptr) c_pruned_unreachable_->Inc();
       }
       continue;
     }
+    // Load signal: how deep the shard's admission queue already was
+    // when this query targeted it (sampled just before submit).
+    resp.shards[s].queue_depth = shards_[s].service->queue_depth();
     auto submitted = shards_[s].service->SubmitBlocking(query);
     if (!submitted.ok()) return submitted.status();
     futures.emplace_back(s, std::move(*submitted));
@@ -469,6 +506,10 @@ Result<ShardedResponse> ShardRouter::QueryShards(
     resp.deadline_exceeded =
         resp.deadline_exceeded || response->deadline_exceeded;
     resp.shards[s].entries = response->entries.size();
+    resp.shards[s].scatter_seconds = response->total_seconds;
+    if (s < h_scatter_.size() && h_scatter_[s] != nullptr) {
+      h_scatter_[s]->Observe(response->total_seconds);
+    }
     ++resp.shards_queried;
     if (s == home) {
       resp.stats = response->stats;
@@ -508,6 +549,7 @@ Result<ShardedResponse> ShardRouter::QueryShards(
       if (merged.size() >= k && best_upper(response) < kth_lower) {
         resp.shards[s].pruned_bound = true;
         ++resp.shards_pruned;
+        if (c_pruned_bound_ != nullptr) c_pruned_bound_->Inc();
         continue;
       }
       for (const core::ResultEntry& e : response.entries) {
@@ -518,7 +560,9 @@ Result<ShardedResponse> ShardRouter::QueryShards(
         for (const core::ResultEntry& have : merged) {
           if (have.node == global) { duplicate = true; break; }
         }
-        if (!duplicate) {
+        if (duplicate) {
+          if (c_merge_dedup_ != nullptr) c_merge_dedup_->Inc();
+        } else {
           merged.push_back(core::ResultEntry{global, e.lower, e.upper});
         }
       }

@@ -50,6 +50,7 @@
 
 #include "common/status.h"
 #include "core/instance_delta.h"
+#include "obs/metrics.h"
 #include "server/snapshot_manager.h"
 #include "shard/partitioner.h"
 
@@ -81,6 +82,14 @@ struct ShardReport {
   double remaining_upper = 0.0;
   double certified_epsilon = 0.0;   // this shard's local certificate
   size_t entries = 0;
+  // ---- load signals (ROADMAP item 3's load-aware-scatter input) ----
+  // End-to-end latency of this shard's sub-query as the router saw it
+  // (admission -> completion inside the shard's QueryService); 0 for
+  // pruned shards.
+  double scatter_seconds = 0.0;
+  // The shard's admission-queue depth sampled at scatter submit: how
+  // loaded the shard already was when this query targeted it.
+  size_t queue_depth = 0;
 };
 
 struct ShardedResponse {
@@ -248,6 +257,11 @@ class ShardRouter {
 
   Status PersistShardMeta(const Shard& shard);
 
+  // Registers the router-level metric series (per-shard scatter
+  // latency histograms, prune/dedup counters) once shards_ is built.
+  // No-op under -DS3_OBS=OFF.
+  void RegisterMetrics();
+
   std::string root_dir_;  // empty for in-memory deployments
   ShardRouterOptions options_;
   std::vector<Shard> shards_;
@@ -268,6 +282,15 @@ class ShardRouter {
 
   // Serializes writers (ApplyUpdate).
   std::mutex update_mu_;
+
+  // ---- observability (registry-owned handles; no-ops when compiled
+  // out). h_scatter_[s] is this router's view of shard s's sub-query
+  // latency; the per-shard QueryServices additionally publish their
+  // own series under {service="shard<s>"} labels.
+  std::vector<obs::Histogram*> h_scatter_;
+  obs::Counter* c_pruned_unreachable_ = nullptr;
+  obs::Counter* c_pruned_bound_ = nullptr;
+  obs::Counter* c_merge_dedup_ = nullptr;
 };
 
 }  // namespace s3::shard

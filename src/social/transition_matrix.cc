@@ -470,7 +470,7 @@ void TransitionMatrix::PropagateBatchPull(
 
 void TransitionMatrix::PropagateBatchAdaptive(
     const BatchFrontier& in, BatchFrontier& out, ThreadPool* pool,
-    const std::vector<uint32_t>* pull_rows) const {
+    const std::vector<uint32_t>* pull_rows, bool* used_pull) const {
   // Same crossover heuristic as PropagateAdaptive, measured on the
   // union support. The verdict may differ from what any single lane
   // would have chosen alone — harmless, because push and pull are
@@ -493,6 +493,7 @@ void TransitionMatrix::PropagateBatchAdaptive(
   }
   const bool dense = touched >= touched_cut ||
                      in.nonzero.size() * 4 >= pull_span;
+  if (used_pull != nullptr) *used_pull = dense;
   if (dense) {
     PropagateBatchPull(in, out, pool, pull_rows);
   } else {

@@ -145,10 +145,13 @@ class TransitionMatrix {
   // with the unrestricted step holds). The push step ignores it (push
   // only writes rows the frontier's mass actually reaches) and the
   // density crossover is scaled to the restricted pull cost.
+  // `used_pull`, when non-null, reports which side of the crossover
+  // ran (true = pull/dense) — observability only, the verdict itself
+  // is unchanged.
   void PropagateBatchAdaptive(const BatchFrontier& in, BatchFrontier& out,
                               ThreadPool* pool,
-                              const std::vector<uint32_t>* pull_rows =
-                                  nullptr) const;
+                              const std::vector<uint32_t>* pull_rows = nullptr,
+                              bool* used_pull = nullptr) const;
 
   // Normalization denominator D(n) for the row of entity `n` (0 if the
   // neighborhood has no outgoing edge).
